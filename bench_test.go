@@ -1,0 +1,46 @@
+package repro_test
+
+// One benchmark per table/figure of the evaluation suite: each runs the
+// corresponding harness experiment in quick mode, so `go test -bench=.`
+// regenerates a fast rendition of every result. Reported metrics are wall
+// time per full experiment plus the simulator's event throughput.
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := harness.ByID(id)
+	if e == nil {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tb := e.Run(true); len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkT1PhyComparison(b *testing.B)    { benchExperiment(b, "T1") }
+func BenchmarkF1Saturation(b *testing.B)       { benchExperiment(b, "F1") }
+func BenchmarkF2OfferedLoad(b *testing.B)      { benchExperiment(b, "F2") }
+func BenchmarkF3HiddenTerminal(b *testing.B)   { benchExperiment(b, "F3") }
+func BenchmarkF4RateAdaptation(b *testing.B)   { benchExperiment(b, "F4") }
+func BenchmarkF5Anomaly(b *testing.B)          { benchExperiment(b, "F5") }
+func BenchmarkF6Fairness(b *testing.B)         { benchExperiment(b, "F6") }
+func BenchmarkF7ContentionWindow(b *testing.B) { benchExperiment(b, "F7") }
+func BenchmarkF8Fragmentation(b *testing.B)    { benchExperiment(b, "F8") }
+func BenchmarkF9Capture(b *testing.B)          { benchExperiment(b, "F9") }
+func BenchmarkF10Roaming(b *testing.B)         { benchExperiment(b, "F10") }
+func BenchmarkF11MACComparison(b *testing.B)   { benchExperiment(b, "F11") }
+func BenchmarkF12PowerSave(b *testing.B)       { benchExperiment(b, "F12") }
+func BenchmarkF13PriorityAccess(b *testing.B)  { benchExperiment(b, "F13") }
+func BenchmarkS1Security(b *testing.B)         { benchExperiment(b, "S1") }
+
+func BenchmarkA1Preamble(b *testing.B)      { benchExperiment(b, "A1") }
+func BenchmarkA2CaptureMargin(b *testing.B) { benchExperiment(b, "A2") }

@@ -1,0 +1,59 @@
+// Command experiments regenerates every table and figure in the evaluation
+// suite (see DESIGN.md's experiment index and EXPERIMENTS.md for expected
+// shapes).
+//
+// Usage:
+//
+//	experiments                 # run everything, full fidelity
+//	experiments -quick          # fast pass (fewer points, shorter runs)
+//	experiments -experiment F3  # one experiment
+//	experiments -csv            # machine-readable output
+//	experiments -list           # list IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "fast pass: fewer points, shorter virtual runs")
+		expID = flag.String("experiment", "", "run only this experiment ID (e.g. F3)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n     expect: %s\n", e.ID, e.Title, e.Expect)
+		}
+		return
+	}
+
+	exps := harness.All()
+	if *expID != "" {
+		e := harness.ByID(*expID)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(1)
+		}
+		exps = []*harness.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		table := e.Run(*quick)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, table.CSV())
+		} else {
+			fmt.Printf("%s\nexpected shape: %s\n(wall time %v)\n\n", table.Render(), e.Expect, elapsed)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command wlansim runs a single configurable WLAN scenario and prints the
+// measured results. It is the quick-look tool; the experiments command
+// regenerates the full evaluation suite.
+//
+// Examples:
+//
+//	wlansim -n 10 -mode 802.11b -duration 5s
+//	wlansim -n 2 -rate minstrel -fading rayleigh -distance 60
+//	wlansim -topology infra -n 4 -trace trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/net80211"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "adhoc", "adhoc (saturated star) or infra (AP + stations)")
+		n        = flag.Int("n", 5, "number of sending stations")
+		mode     = flag.String("mode", "802.11b", "PHY mode: 802.11, 802.11a, 802.11b, 802.11g")
+		rateCtl  = flag.String("rate", "fixed", "rate control: fixed[:idx], arf, aarf, samplerate, minstrel")
+		fading   = flag.String("fading", "", "fading: none, rayleigh, rician:<K>")
+		rts      = flag.Int("rts", 0, "RTS threshold in bytes (0 = off)")
+		payload  = flag.Int("payload", 1500, "payload bytes per packet")
+		distance = flag.Float64("distance", 5, "sender distance from the sink/AP in metres")
+		duration = flag.Duration("duration", 3*time.Second, "virtual run time")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		traceOut = flag.String("trace", "", "write a JSONL frame trace to this file")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Seed:      *seed,
+		Mode:      *mode,
+		RateAdapt: *rateCtl,
+		Fading:    *fading,
+	}
+	if *rts > 0 {
+		cfg.RTSThreshold = *rts
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wlansim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.Tracer = trace.JSONL{W: f}
+	}
+
+	net := core.NewNetwork(cfg)
+	dur := sim.Duration(duration.Nanoseconds())
+
+	var flows []uint32
+	switch *topology {
+	case "adhoc":
+		sink := net.AddAdhoc("sink", geom.Pt(0, 0))
+		pts := geom.Circle(*n, *distance, geom.Pt(0, 0))
+		for i := 0; i < *n; i++ {
+			s := net.AddAdhoc(fmt.Sprintf("sta%d", i), pts[i])
+			flows = append(flows, net.Saturate(s, sink, *payload))
+		}
+	case "infra":
+		ap := net.AddAP("ap", geom.Pt(0, 0), net80211.APConfig{SSID: "wlansim"})
+		pts := geom.Circle(*n, *distance, geom.Pt(0, 0))
+		var nodes []*core.Node
+		for i := 0; i < *n; i++ {
+			nodes = append(nodes, net.AddStation(fmt.Sprintf("sta%d", i), pts[i],
+				net80211.STAConfig{SSID: "wlansim"}))
+		}
+		net.Run(1 * sim.Second) // association phase
+		for _, s := range nodes {
+			flows = append(flows, net.Saturate(s, ap, *payload))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "wlansim: unknown topology %q\n", *topology)
+		os.Exit(1)
+	}
+
+	net.Run(dur)
+
+	table := stats.NewTable(
+		fmt.Sprintf("wlansim: %s, %d stations, %s, rate=%s, %v",
+			*mode, *n, *topology, *rateCtl, *duration),
+		"flow", "Mbit/s", "delivered", "loss %", "mean delay ms", "retries")
+	var agg float64
+	var per []float64
+	for i, id := range flows {
+		fs := net.FlowStats(id)
+		node := net.Nodes()[i+1] // index 0 is the sink/AP
+		if fs == nil {
+			table.AddRow(fmt.Sprint(id), "0.00", "0", "100.0", "-", fmt.Sprint(node.MAC.Stats().Retries))
+			per = append(per, 0)
+			continue
+		}
+		tput := net.FlowThroughput(id)
+		agg += tput
+		per = append(per, tput)
+		table.AddRow(fmt.Sprint(id), stats.Mbps(tput), fmt.Sprint(fs.Received),
+			stats.F(100*fs.LossRatio(), 1), stats.F(fs.Latency.Mean()*1000, 2),
+			fmt.Sprint(node.MAC.Stats().Retries))
+	}
+	fmt.Println(table.Render())
+	fmt.Printf("aggregate: %s Mbit/s   jain fairness: %s\n",
+		stats.Mbps(agg), stats.F(stats.JainIndex(per), 4))
+}

@@ -1,0 +1,76 @@
+// Command wlantrace pretty-prints JSONL frame traces produced by
+// wlansim -trace (or any trace.JSONL writer): one aligned line per event
+// with relative timestamps, with optional node and kind filters.
+//
+// Usage:
+//
+//	wlantrace trace.jsonl
+//	wlansim -trace /dev/stdout | wlantrace -node sta0 -kind rx-ok
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		nodeFilter = flag.String("node", "", "only events from this node")
+		kindFilter = flag.String("kind", "", "only events of this kind (tx, rx-ok, rx-err, ...)")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wlantrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo, shown := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		m, err := trace.ParseJSONL(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlantrace: line %d: %v\n", lineNo, err)
+			continue
+		}
+		node, _ := m["node"].(string)
+		kind, _ := m["kind"].(string)
+		if *nodeFilter != "" && node != *nodeFilter {
+			continue
+		}
+		if *kindFilter != "" && kind != *kindFilter {
+			continue
+		}
+		atNs, _ := m["at_ns"].(float64)
+		typ, _ := m["type"].(string)
+		ra, _ := m["ra"].(string)
+		seq, _ := m["seq"].(float64)
+		length, _ := m["len"].(float64)
+		detail, _ := m["detail"].(string)
+		fmt.Printf("%14.6fs %-10s %-6s %-11s ra=%-17s seq=%-4.0f len=%-4.0f %s\n",
+			atNs/1e9, node, kind, typ, ra, seq, length, detail)
+		shown++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "wlantrace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wlantrace: %d events shown of %d lines\n", shown, lineNo)
+}

@@ -1,0 +1,13 @@
+// Package repro is gowifi: a from-scratch, stdlib-only, deterministic
+// discrete-event simulation stack for IEEE 802.11 wireless LANs — DCF MAC,
+// rate-adaptation drivers (ARF/AARF/SampleRate/Minstrel), PHY error models
+// for 802.11/a/b/g, an interference-tracking medium, a management plane
+// (scan/auth/assoc/roaming/power save), WEP/CCMP link privacy, baseline
+// MACs (ALOHA/TDMA), Bianchi's analytical model, and a harness that
+// regenerates the full evaluation suite.
+//
+// Start with the README, DESIGN.md (system inventory and the paper-mismatch
+// note) and EXPERIMENTS.md (expected-vs-measured for every table/figure).
+// The public scenario API lives in internal/core; the runnable entry points
+// are cmd/wlansim, cmd/experiments, cmd/wlantrace and the examples tree.
+package repro

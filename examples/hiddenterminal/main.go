@@ -1,0 +1,68 @@
+// Hidden terminal: two senders that cannot carrier-sense each other share a
+// receiver. Run once with basic access and once with RTS/CTS to watch the
+// classic collapse and recovery. This is experiment F3 in miniature.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/units"
+)
+
+// hiddenChannel returns a channel where a↔c is a 200 dB void while both
+// reach b at a comfortable 70 dB.
+func hiddenChannel() spectrum.PathLoss {
+	names := map[geom.Point]string{
+		geom.Pt(-25, 0): "a",
+		geom.Pt(0, 0):   "b",
+		geom.Pt(25, 0):  "c",
+	}
+	return spectrum.MatrixLoss{
+		Default: 70,
+		Pairs: map[string]units.DB{
+			spectrum.PairKey("a", "c"): 200,
+			spectrum.PairKey("c", "a"): 200,
+		},
+		Resolver: func(p geom.Point) string { return names[p] },
+	}
+}
+
+func run(useRTS bool) (agg float64, retries, drops uint64) {
+	cfg := core.Config{
+		Seed:      7,
+		PathLoss:  hiddenChannel(),
+		RateAdapt: "fixed:1", // 2 Mbit/s: long frames make collisions expensive
+	}
+	if useRTS {
+		cfg.RTSThreshold = 1 // protect everything
+	}
+	net := core.NewNetwork(cfg)
+	b := net.AddAdhoc("b", geom.Pt(0, 0))
+	a := net.AddAdhoc("a", geom.Pt(-25, 0))
+	c := net.AddAdhoc("c", geom.Pt(25, 0))
+	fa := net.Saturate(a, b, 1500)
+	fc := net.Saturate(c, b, 1500)
+	net.Run(5 * sim.Second)
+
+	agg = net.FlowThroughput(fa) + net.FlowThroughput(fc)
+	retries = a.MAC.Stats().Retries + c.MAC.Stats().Retries
+	drops = a.MAC.Stats().MSDUDropped + c.MAC.Stats().MSDUDropped
+	return agg, retries, drops
+}
+
+func main() {
+	fmt.Println("two hidden senders, one receiver, 1500B @ 2 Mbit/s, 5s")
+	basic, bRetries, bDrops := run(false)
+	fmt.Printf("basic access: %.2f Mbit/s  (%d retries, %d drops)\n",
+		basic/1e6, bRetries, bDrops)
+	rts, rRetries, rDrops := run(true)
+	fmt.Printf("rts/cts:      %.2f Mbit/s  (%d retries, %d drops)\n",
+		rts/1e6, rRetries, rDrops)
+	fmt.Printf("\nRTS/CTS recovers %.1fx the goodput: collisions now burn a 272 µs RTS\n",
+		rts/basic)
+	fmt.Println("instead of a 6.3 ms data frame, and the CTS sets the hidden sender's NAV.")
+}

@@ -1,0 +1,66 @@
+// Rate adaptation: a station walks away from its peer over a fading
+// 802.11a channel while different driver policies pick transmission rates.
+// Watch fixed-rate fall off a cliff while Minstrel degrades gracefully.
+// This is experiment F4 with a moving station instead of a distance sweep.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/units"
+)
+
+func run(policy string) []float64 {
+	net := core.NewNetwork(core.Config{
+		Seed:      99,
+		Mode:      "802.11a",
+		RateAdapt: policy,
+		Fading:    "rayleigh",
+		PathLoss:  spectrum.NewLogDistance(5200*units.MHz, 3.0),
+	})
+	base := net.AddAdhoc("base", geom.Pt(0, 0))
+
+	// The walker starts 10 m out and retreats at 10 m/s for 9 seconds.
+	walker := net.AddAdhoc("walker", geom.Pt(10, 0))
+	walker.Radio.SetMobility(geom.Linear{Start: geom.Pt(10, 0), Velocity: geom.Vector{X: 10}})
+
+	flow := net.Saturate(walker, base, 1200)
+
+	// Sample goodput every second.
+	var samples []float64
+	var lastBytes uint64
+	for s := 0; s < 9; s++ {
+		net.Run(1 * sim.Second)
+		fs := net.FlowStats(flow)
+		var bytes uint64
+		if fs != nil {
+			bytes = fs.Bytes
+		}
+		samples = append(samples, float64(bytes-lastBytes)*8/1e6)
+		lastBytes = bytes
+	}
+	return samples
+}
+
+func main() {
+	policies := []string{"fixed", "arf", "minstrel"}
+	fmt.Println("goodput (Mbit/s) per second while walking 10 → 100 m, 802.11a + Rayleigh")
+	fmt.Printf("%-10s", "distance:")
+	for s := 0; s < 9; s++ {
+		fmt.Printf("%7dm", 15+s*10)
+	}
+	fmt.Println()
+	for _, p := range policies {
+		fmt.Printf("%-10s", p)
+		for _, v := range run(p) {
+			fmt.Printf("%8.2f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nfixed stays at 54 Mbit/s until frames stop decoding; the adaptive")
+	fmt.Println("drivers shift down the OFDM ladder and keep the link alive.")
+}

@@ -1,0 +1,495 @@
+// Package core is the public scenario API of the simulator: it assembles
+// the kernel, medium, radios, MACs, rate controllers and management plane
+// into networks you can describe in a few lines, attaches measured traffic
+// flows, and runs them for virtual time.
+//
+//	net := core.NewNetwork(core.Config{Mode: "802.11b", Seed: 1})
+//	ap  := net.AddAP("ap0", geom.Pt(0, 0), net80211.APConfig{SSID: "lab"})
+//	sta := net.AddStation("sta0", geom.Pt(10, 0), net80211.STAConfig{SSID: "lab"})
+//	flow := net.Saturate(sta, ap, 1500)
+//	net.Run(5 * sim.Second)
+//	fmt.Println(net.FlowThroughput(flow))
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ether"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/medium"
+	"repro/internal/net80211"
+	"repro/internal/phy"
+	"repro/internal/rate"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// Config describes the shared environment of a scenario.
+type Config struct {
+	// Seed makes the whole run deterministic. Seed 0 is valid.
+	Seed uint64
+	// Mode names the PHY: "802.11", "802.11a", "802.11b" (default),
+	// "802.11g".
+	Mode string
+	// Channel is the shared radio channel (default 1).
+	Channel int
+	// TxPower in dBm (default 16).
+	TxPower units.DBm
+
+	// PathLoss overrides the default log-distance exponent-3 model.
+	PathLoss spectrum.PathLoss
+	// ShadowSigmaDB enables log-normal shadowing when > 0.
+	ShadowSigmaDB float64
+	// Fading: "", "none", "rayleigh", "rician:<K>".
+	Fading string
+	// FadingCoherence defaults to 10 ms.
+	FadingCoherence sim.Duration
+
+	// RateAdapt names the driver rate policy: "fixed" / "fixed:<idx>"
+	// (default: fixed at the top rate), "arf", "aarf", "samplerate",
+	// "minstrel".
+	RateAdapt string
+
+	// MAC parameter overrides applied to every node (zero = defaults).
+	RTSThreshold  int
+	FragThreshold int
+	CWmin, CWmax  int
+	QueueCap      int
+
+	// Capture enables physical-layer capture at every radio.
+	Capture bool
+	// CaptureMarginDB overrides the 10 dB default capture margin.
+	CaptureMarginDB float64
+	// ShortPreamble selects the short DSSS preamble where the mode
+	// supports it (802.11b).
+	ShortPreamble bool
+	// NoPropagationDelay disables distance/c arrival delays.
+	NoPropagationDelay bool
+	// Tracer receives frame-level events (nil = off).
+	Tracer trace.Tracer
+}
+
+// Node is one wireless device in the network with its full stack.
+type Node struct {
+	Name  string
+	Radio *medium.Radio
+	MAC   *mac.DCF
+
+	// Exactly one of these is non-nil depending on the node role.
+	AP    *net80211.AP
+	STA   *net80211.STA
+	Adhoc *net80211.Adhoc
+
+	net *Network
+}
+
+// Address returns the node's MAC address.
+func (n *Node) Address() frame.MACAddr { return n.MAC.Address() }
+
+// Send transmits an application payload to dst through whatever role the
+// node has. It returns false when the node cannot send yet (e.g. an
+// unassociated station) or its queue is full.
+func (n *Node) Send(dst frame.MACAddr, payload []byte) bool {
+	switch {
+	case n.STA != nil:
+		return n.STA.Send(dst, payload)
+	case n.AP != nil:
+		return n.AP.Send(dst, payload)
+	case n.Adhoc != nil:
+		return n.Adhoc.Send(dst, payload)
+	}
+	return false
+}
+
+// Network owns a scenario.
+type Network struct {
+	cfg    Config
+	kernel *sim.Kernel
+	medium *medium.Medium
+	mode   *phy.Mode
+	root   *rng.Source
+	alloc  frame.AddrAllocator
+
+	nodes   map[string]*Node
+	order   []*Node
+	sink    *traffic.Sink
+	gens    []*traffic.Generator
+	switchD *ether.Switch
+
+	nextFlow uint32
+	ran      sim.Duration
+}
+
+// NewNetwork builds an empty network from the config.
+func NewNetwork(cfg Config) *Network {
+	if cfg.Mode == "" {
+		cfg.Mode = "802.11b"
+	}
+	mode, err := phy.ModeByName(cfg.Mode)
+	if err != nil {
+		panic(err)
+	}
+	if cfg.ShortPreamble {
+		mode.UseShortPreamble()
+	}
+	if cfg.Channel == 0 {
+		cfg.Channel = 1
+	}
+	if cfg.TxPower == 0 {
+		cfg.TxPower = 16
+	}
+	if cfg.FadingCoherence == 0 {
+		cfg.FadingCoherence = 10 * sim.Millisecond
+	}
+	k := sim.NewKernel()
+	root := rng.New(cfg.Seed)
+
+	pl := cfg.PathLoss
+	if pl == nil {
+		pl = spectrum.NewLogDistance(phy.ChannelFreq(cfg.Channel), 3.0)
+	}
+	var shadow spectrum.Fading
+	if cfg.ShadowSigmaDB > 0 {
+		shadow = spectrum.NewShadowing(root.Split("shadow"), cfg.ShadowSigmaDB)
+	}
+	var fast spectrum.Fading
+	switch {
+	case cfg.Fading == "" || cfg.Fading == "none":
+	case cfg.Fading == "rayleigh":
+		fast = spectrum.NewRayleigh(root.Split("fading"), cfg.FadingCoherence)
+	case strings.HasPrefix(cfg.Fading, "rician"):
+		kf := 5.0
+		if i := strings.IndexByte(cfg.Fading, ':'); i >= 0 {
+			if v, err := strconv.ParseFloat(cfg.Fading[i+1:], 64); err == nil {
+				kf = v
+			}
+		}
+		fast = spectrum.NewRician(root.Split("fading"), kf, cfg.FadingCoherence)
+	default:
+		panic(fmt.Sprintf("core: unknown fading model %q", cfg.Fading))
+	}
+
+	m := medium.New(k, spectrum.NewModel(pl, shadow, fast), root)
+	m.PropagationDelay = !cfg.NoPropagationDelay
+	m.Tracer = cfg.Tracer
+
+	n := &Network{
+		cfg:    cfg,
+		kernel: k,
+		medium: m,
+		mode:   mode,
+		root:   root,
+		nodes:  make(map[string]*Node),
+	}
+	n.sink = traffic.NewSink(k)
+	return n
+}
+
+// Kernel exposes the simulation kernel for custom scheduling.
+func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+
+// Medium exposes the shared channel.
+func (n *Network) Medium() *medium.Medium { return n.medium }
+
+// Mode returns the PHY mode in use.
+func (n *Network) Mode() *phy.Mode { return n.mode }
+
+// Sink returns the shared measurement sink.
+func (n *Network) Sink() *traffic.Sink { return n.sink }
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node { return n.order }
+
+// Node returns a node by name (nil if absent).
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// rateController builds a fresh controller per node. An empty spec falls
+// back to the network-wide config.
+func (n *Network) rateController(name, spec string) mac.RateController {
+	if spec == "" {
+		spec = n.cfg.RateAdapt
+	}
+	switch {
+	case spec == "" || spec == "fixed":
+		return rate.NewFixed(n.mode, n.mode.MaxRate())
+	case strings.HasPrefix(spec, "fixed:"):
+		idx, err := strconv.Atoi(spec[len("fixed:"):])
+		if err != nil {
+			panic(fmt.Sprintf("core: bad rate spec %q", spec))
+		}
+		return rate.NewFixed(n.mode, phy.RateIdx(idx))
+	case spec == "arf":
+		return rate.NewARF(n.mode)
+	case spec == "aarf":
+		return rate.NewAARF(n.mode)
+	case spec == "samplerate":
+		return rate.NewSampleRate(n.mode, n.root.Split("rc:"+name))
+	case spec == "minstrel":
+		return rate.NewMinstrel(n.mode, n.root.Split("rc:"+name))
+	}
+	panic(fmt.Sprintf("core: unknown rate adaptation %q", spec))
+}
+
+// newStack builds radio+MAC for a node.
+func (n *Network) newStack(name string, mob geom.Mobility, rateSpec string) (*medium.Radio, *mac.DCF) {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("core: duplicate node name %q", name))
+	}
+	r := n.medium.AddRadio(medium.RadioConfig{
+		Name:           name,
+		Mode:           n.mode,
+		Channel:        n.cfg.Channel,
+		Mobility:       mob,
+		TxPower:        n.cfg.TxPower,
+		CaptureEnabled: n.cfg.Capture,
+		CaptureMargin:  units.DB(n.cfg.CaptureMarginDB),
+	})
+	d := mac.New(n.kernel, r, mac.Config{
+		Address:       n.alloc.Next(),
+		Mode:          n.mode,
+		RTSThreshold:  n.cfg.RTSThreshold,
+		FragThreshold: n.cfg.FragThreshold,
+		CWmin:         n.cfg.CWmin,
+		CWmax:         n.cfg.CWmax,
+		QueueCap:      n.cfg.QueueCap,
+	}, n.rateController(name, rateSpec), n.root)
+	return r, d
+}
+
+func (n *Network) register(node *Node) *Node {
+	n.nodes[node.Name] = node
+	n.order = append(n.order, node)
+	return node
+}
+
+// AddAP creates an access point node.
+func (n *Network) AddAP(name string, at geom.Point, cfg net80211.APConfig) *Node {
+	r, d := n.newStack(name, geom.Static{P: at}, "")
+	node := &Node{Name: name, Radio: r, MAC: d, net: n}
+	node.AP = net80211.NewAP(n.kernel, d, cfg)
+	node.AP.OnDeliver = func(_, _ frame.MACAddr, payload []byte) { n.sink.Deliver(payload) }
+	return n.register(node)
+}
+
+// AddStation creates an infrastructure station node.
+func (n *Network) AddStation(name string, at geom.Point, cfg net80211.STAConfig) *Node {
+	return n.AddMobileStation(name, geom.Static{P: at}, cfg)
+}
+
+// AddMobileStation creates a station with an arbitrary mobility model.
+func (n *Network) AddMobileStation(name string, mob geom.Mobility, cfg net80211.STAConfig) *Node {
+	r, d := n.newStack(name, mob, "")
+	node := &Node{Name: name, Radio: r, MAC: d, net: n}
+	node.STA = net80211.NewSTA(n.kernel, d, cfg)
+	node.STA.OnReceive = func(_, _ frame.MACAddr, payload []byte) { n.sink.Deliver(payload) }
+	return n.register(node)
+}
+
+// AddAdhoc creates an IBSS node (also the workhorse for pure-MAC
+// experiments: no association overhead).
+func (n *Network) AddAdhoc(name string, at geom.Point) *Node {
+	return n.AddAdhocRate(name, at, "")
+}
+
+// AddAdhocRate creates an IBSS node with a per-node rate-adaptation
+// override (e.g. a deliberately slow station in anomaly experiments).
+func (n *Network) AddAdhocRate(name string, at geom.Point, rateSpec string) *Node {
+	return n.AddAdhocOpts(name, at, NodeOpts{RateAdapt: rateSpec})
+}
+
+// NodeOpts carries per-node overrides of the network-wide MAC defaults.
+// Zero fields fall back to the Config values.
+type NodeOpts struct {
+	// RateAdapt overrides the rate-adaptation policy for this node.
+	RateAdapt string
+	// CWmin/CWmax/AIFSN model EDCA-style access categories: a privileged
+	// node gets a small CWmin and AIFSN 2, a background node large CW and
+	// AIFSN 7.
+	CWmin, CWmax, AIFSN int
+	// QueueCap overrides the transmit queue bound.
+	QueueCap int
+}
+
+// AddAdhocOpts creates an IBSS node with per-node MAC overrides.
+func (n *Network) AddAdhocOpts(name string, at geom.Point, opts NodeOpts) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("core: duplicate node name %q", name))
+	}
+	r := n.medium.AddRadio(medium.RadioConfig{
+		Name:           name,
+		Mode:           n.mode,
+		Channel:        n.cfg.Channel,
+		Mobility:       geom.Static{P: at},
+		TxPower:        n.cfg.TxPower,
+		CaptureEnabled: n.cfg.Capture,
+		CaptureMargin:  units.DB(n.cfg.CaptureMarginDB),
+	})
+	pickInt := func(v, def int) int {
+		if v != 0 {
+			return v
+		}
+		return def
+	}
+	d := mac.New(n.kernel, r, mac.Config{
+		Address:       n.alloc.Next(),
+		Mode:          n.mode,
+		RTSThreshold:  n.cfg.RTSThreshold,
+		FragThreshold: n.cfg.FragThreshold,
+		CWmin:         pickInt(opts.CWmin, n.cfg.CWmin),
+		CWmax:         pickInt(opts.CWmax, n.cfg.CWmax),
+		AIFSN:         opts.AIFSN,
+		QueueCap:      pickInt(opts.QueueCap, n.cfg.QueueCap),
+	}, n.rateController(name, opts.RateAdapt), n.root)
+	node := &Node{Name: name, Radio: r, MAC: d, net: n}
+	node.Adhoc = net80211.NewAdhoc(n.kernel, d, net80211.IBSSID())
+	node.Adhoc.OnReceive = func(_, _ frame.MACAddr, payload []byte) { n.sink.Deliver(payload) }
+	return n.register(node)
+}
+
+// AddMonitor creates a passive monitor-mode node: its MAC runs promiscuous
+// and every overheard frame is handed to the callback. Monitors never
+// transmit (nothing is addressed to them, so no ACKs either).
+func (n *Network) AddMonitor(name string, at geom.Point, capture func(f *frame.Frame, info medium.RxInfo)) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("core: duplicate node name %q", name))
+	}
+	r := n.medium.AddRadio(medium.RadioConfig{
+		Name:     name,
+		Mode:     n.mode,
+		Channel:  n.cfg.Channel,
+		Mobility: geom.Static{P: at},
+		TxPower:  n.cfg.TxPower,
+	})
+	d := mac.New(n.kernel, r, mac.Config{
+		Address:     n.alloc.Next(),
+		Mode:        n.mode,
+		Promiscuous: true,
+	}, n.rateController(name, ""), n.root)
+	d.SetReceiver(func(f *frame.Frame, info medium.RxInfo) {
+		if capture != nil {
+			capture(f, info)
+		}
+	})
+	node := &Node{Name: name, Radio: r, MAC: d, net: n}
+	return n.register(node)
+}
+
+// DS returns (creating on first use) the wired distribution system switch
+// and attaches nothing by itself; pass nodes' APs to ConnectDS.
+func (n *Network) DS() *ether.Switch {
+	if n.switchD == nil {
+		n.switchD = ether.NewSwitch(n.kernel, 10*sim.Microsecond)
+	}
+	return n.switchD
+}
+
+// ConnectDS attaches an AP node to the wired DS.
+func (n *Network) ConnectDS(ap *Node) {
+	if ap.AP == nil {
+		panic("core: ConnectDS on a non-AP node")
+	}
+	ap.AP.AttachDS(n.DS())
+}
+
+// --- flows -----------------------------------------------------------------
+
+// Saturate attaches a backlogged flow from src to dst and returns its ID.
+func (n *Network) Saturate(src, dst *Node, size int) uint32 {
+	n.nextFlow++
+	id := n.nextFlow
+	dstAddr := dst.Address()
+	g := traffic.NewSaturator(n.kernel, id, size, func(p []byte) bool {
+		return src.Send(dstAddr, p)
+	})
+	n.gens = append(n.gens, g)
+	return id
+}
+
+// CBR attaches a constant-bit-rate flow.
+func (n *Network) CBR(src, dst *Node, size int, interval sim.Duration) uint32 {
+	n.nextFlow++
+	id := n.nextFlow
+	dstAddr := dst.Address()
+	g := traffic.NewCBR(n.kernel, id, size, interval, func(p []byte) bool {
+		return src.Send(dstAddr, p)
+	})
+	n.gens = append(n.gens, g)
+	return id
+}
+
+// Poisson attaches a Poisson flow at pktPerSec.
+func (n *Network) Poisson(src, dst *Node, size int, pktPerSec float64) uint32 {
+	n.nextFlow++
+	id := n.nextFlow
+	dstAddr := dst.Address()
+	g := traffic.NewPoisson(n.kernel, id, size, pktPerSec,
+		n.root.Split(fmt.Sprintf("flow:%d", id)), func(p []byte) bool {
+			return src.Send(dstAddr, p)
+		})
+	n.gens = append(n.gens, g)
+	return id
+}
+
+// Broadcast attaches a CBR broadcast flow from src.
+func (n *Network) Broadcast(src *Node, size int, interval sim.Duration) uint32 {
+	n.nextFlow++
+	id := n.nextFlow
+	g := traffic.NewCBR(n.kernel, id, size, interval, func(p []byte) bool {
+		return src.Send(frame.Broadcast, p)
+	})
+	n.gens = append(n.gens, g)
+	return id
+}
+
+// Generators returns the attached traffic generators (index = flowID - 1).
+func (n *Network) Generators() []*traffic.Generator { return n.gens }
+
+// --- running and results -----------------------------------------------------
+
+// Run advances the scenario by d of virtual time.
+func (n *Network) Run(d sim.Duration) {
+	n.kernel.RunFor(d)
+	n.ran += d
+}
+
+// Elapsed returns total virtual time run so far.
+func (n *Network) Elapsed() sim.Duration { return n.ran }
+
+// StopTraffic halts every generator (used before drain phases).
+func (n *Network) StopTraffic() {
+	for _, g := range n.gens {
+		g.Stop()
+	}
+}
+
+// FlowThroughput returns a flow's goodput in bits/s over the elapsed run
+// time (not just first-to-last packet).
+func (n *Network) FlowThroughput(flowID uint32) float64 {
+	f := n.sink.Flow(flowID)
+	if f == nil || n.ran == 0 {
+		return 0
+	}
+	return float64(f.Bytes*8) / n.ran.Seconds()
+}
+
+// FlowStats returns the sink-side stats for a flow (nil if no packet
+// arrived).
+func (n *Network) FlowStats(flowID uint32) *traffic.FlowStats {
+	return n.sink.Flow(flowID)
+}
+
+// AggregateThroughput sums goodput over all flows.
+func (n *Network) AggregateThroughput() float64 {
+	if n.ran == 0 {
+		return 0
+	}
+	return float64(n.sink.TotalBytes()*8) / n.ran.Seconds()
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/net80211"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func TestAdhocSaturationEndToEnd(t *testing.T) {
+	net := NewNetwork(Config{Seed: 1, PathLoss: spectrum.FreeSpace{Freq: 2412 * units.MHz}})
+	a := net.AddAdhoc("a", geom.Pt(0, 0))
+	b := net.AddAdhoc("b", geom.Pt(10, 0))
+	flow := net.Saturate(a, b, 1500)
+	net.Run(2 * sim.Second)
+
+	tput := net.FlowThroughput(flow)
+	// 11 Mbit/s 11b saturation with one station: ~5.5-7 Mbit/s goodput.
+	if tput < 4e6 || tput > 8e6 {
+		t.Errorf("throughput = %.2f Mbit/s, want 4-8", tput/1e6)
+	}
+	if fs := net.FlowStats(flow); fs == nil || fs.Latency.Mean() <= 0 {
+		t.Error("no latency measurements")
+	}
+}
+
+func TestInfrastructureEndToEnd(t *testing.T) {
+	net := NewNetwork(Config{Seed: 2, PathLoss: spectrum.FreeSpace{Freq: 2412 * units.MHz}})
+	ap := net.AddAP("ap", geom.Pt(0, 0), net80211.APConfig{SSID: "lab"})
+	sta := net.AddStation("sta", geom.Pt(10, 0), net80211.STAConfig{SSID: "lab"})
+
+	// Give association a second, then measure an uplink CBR flow.
+	net.Run(1 * sim.Second)
+	if !sta.STA.Associated() {
+		t.Fatal("station not associated after 1s")
+	}
+	flow := net.CBR(sta, ap, 500, 10*sim.Millisecond)
+	net.Run(2 * sim.Second)
+
+	fs := net.FlowStats(flow)
+	if fs == nil {
+		t.Fatal("no packets delivered through the AP")
+	}
+	if fs.LossRatio() > 0.05 {
+		t.Errorf("CBR loss = %.3f on a clean channel", fs.LossRatio())
+	}
+}
+
+func TestConfigVariants(t *testing.T) {
+	for _, cfg := range []Config{
+		{Mode: "802.11a", RateAdapt: "minstrel", Fading: "rayleigh"},
+		{Mode: "802.11g", RateAdapt: "arf", Fading: "rician:8"},
+		{Mode: "802.11", RateAdapt: "fixed:0", ShadowSigmaDB: 4},
+		{Mode: "802.11b", RateAdapt: "samplerate", Capture: true},
+		{Mode: "802.11b", RateAdapt: "aarf", RTSThreshold: 500, FragThreshold: 1000},
+	} {
+		net := NewNetwork(cfg)
+		a := net.AddAdhoc("a", geom.Pt(0, 0))
+		b := net.AddAdhoc("b", geom.Pt(15, 0))
+		flow := net.Saturate(a, b, 1000)
+		net.Run(500 * sim.Millisecond)
+		if net.FlowStats(flow) == nil {
+			t.Errorf("config %+v delivered nothing", cfg)
+		}
+	}
+}
+
+func TestBadConfigsPanic(t *testing.T) {
+	cases := []Config{
+		{Mode: "802.11ax"},
+		{RateAdapt: "magic"},
+		{Fading: "quantum"},
+		{RateAdapt: "fixed:x"},
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			n := NewNetwork(cfg)
+			n.AddAdhoc("a", geom.Pt(0, 0)) // rate controller built here
+		}()
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	net := NewNetwork(Config{})
+	net.AddAdhoc("x", geom.Pt(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name accepted")
+		}
+	}()
+	net.AddAdhoc("x", geom.Pt(1, 0))
+}
+
+func TestDeterministicScenario(t *testing.T) {
+	run := func() (float64, uint64) {
+		net := NewNetwork(Config{Seed: 33, Fading: "rayleigh", RateAdapt: "minstrel"})
+		a := net.AddAdhoc("a", geom.Pt(0, 0))
+		b := net.AddAdhoc("b", geom.Pt(45, 0))
+		flow := net.Saturate(a, b, 1200)
+		net.Run(1 * sim.Second)
+		return net.FlowThroughput(flow), a.MAC.Stats().Retries
+	}
+	t1, r1 := run()
+	t2, r2 := run()
+	if t1 != t2 || r1 != r2 {
+		t.Fatalf("scenario not deterministic: (%v,%v) vs (%v,%v)", t1, r1, t2, r2)
+	}
+}
+
+func TestMultipleFlowsSeparateStats(t *testing.T) {
+	net := NewNetwork(Config{Seed: 4, PathLoss: spectrum.FreeSpace{Freq: 2412 * units.MHz}})
+	a := net.AddAdhoc("a", geom.Pt(0, 0))
+	b := net.AddAdhoc("b", geom.Pt(10, 0))
+	c := net.AddAdhoc("c", geom.Pt(0, 10))
+	f1 := net.CBR(a, b, 300, 20*sim.Millisecond)
+	f2 := net.CBR(c, b, 300, 30*sim.Millisecond)
+	net.Run(1 * sim.Second)
+	s1, s2 := net.FlowStats(f1), net.FlowStats(f2)
+	if s1 == nil || s2 == nil {
+		t.Fatal("missing flow stats")
+	}
+	if s1.Received <= s2.Received {
+		t.Errorf("flow rates inverted: %d vs %d", s1.Received, s2.Received)
+	}
+	if net.AggregateThroughput() <= 0 {
+		t.Error("aggregate throughput zero")
+	}
+}
+
+func TestTracerPlumbing(t *testing.T) {
+	c := trace.NewCounter()
+	net := NewNetwork(Config{Seed: 5, Tracer: c})
+	a := net.AddAdhoc("a", geom.Pt(0, 0))
+	b := net.AddAdhoc("b", geom.Pt(10, 0))
+	net.CBR(a, b, 200, 50*sim.Millisecond)
+	net.Run(500 * sim.Millisecond)
+	if c.Counts[trace.KindTx] == 0 || c.Counts[trace.KindRxOK] == 0 {
+		t.Errorf("tracer saw nothing: %v", c.Counts)
+	}
+}
+
+func TestStopTraffic(t *testing.T) {
+	net := NewNetwork(Config{Seed: 6})
+	a := net.AddAdhoc("a", geom.Pt(0, 0))
+	b := net.AddAdhoc("b", geom.Pt(10, 0))
+	flow := net.CBR(a, b, 300, 10*sim.Millisecond)
+	net.Run(500 * sim.Millisecond)
+	before := net.FlowStats(flow).Received
+	net.StopTraffic()
+	net.Run(500 * sim.Millisecond)
+	after := net.FlowStats(flow).Received
+	if after > before+2 {
+		t.Errorf("traffic kept flowing after stop: %d -> %d", before, after)
+	}
+}

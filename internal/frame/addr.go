@@ -1,0 +1,43 @@
+// Package frame implements the IEEE 802.11 MAC frame wire format: frame
+// control bits, the four-address header, sequence control, management and
+// control frame layouts, information elements, LLC/SNAP encapsulation and
+// the CRC-32 frame check sequence. Frames marshal to and from real byte
+// layouts so the security layer (WEP/CCMP) and the tracer operate on honest
+// wire images rather than structs.
+package frame
+
+import (
+	"fmt"
+)
+
+// MACAddr is a 48-bit IEEE MAC address.
+type MACAddr [6]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = MACAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// IsBroadcast reports whether a is the broadcast address.
+func (a MACAddr) IsBroadcast() bool { return a == Broadcast }
+
+// IsGroup reports whether a is a group (multicast or broadcast) address.
+func (a MACAddr) IsGroup() bool { return a[0]&0x01 != 0 }
+
+// IsZero reports whether a is the all-zero address.
+func (a MACAddr) IsZero() bool { return a == MACAddr{} }
+
+func (a MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// AddrAllocator hands out locally administered unicast addresses
+// (02:00:00:xx:xx:xx) in sequence. Deterministic, so traces are stable.
+type AddrAllocator struct {
+	next uint32
+}
+
+// Next returns a fresh address.
+func (al *AddrAllocator) Next() MACAddr {
+	al.next++
+	n := al.next
+	return MACAddr{0x02, 0x00, 0x00, byte(n >> 16), byte(n >> 8), byte(n)}
+}

@@ -1,0 +1,94 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The codec faces bytes from the radio model only, but a codec that panics
+// on arbitrary input is a codec with latent bugs. These tests feed
+// adversarial inputs through every parser.
+
+func TestUnmarshalNeverPanics(t *testing.T) {
+	if err := quick.Check(func(b []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatalf("Unmarshal panicked on %x", b)
+			}
+		}()
+		_, _ = Unmarshal(b)
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalValidPrefixCorruptedTail(t *testing.T) {
+	// Take a valid frame, truncate at every length: must error, not panic.
+	f := NewData(addrA, addrB, addrC, true, false, make([]byte, 64))
+	wire := f.Marshal()
+	for n := 0; n < len(wire); n++ {
+		if _, err := Unmarshal(wire[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestParsersNeverPanic(t *testing.T) {
+	parsers := []func([]byte){
+		func(b []byte) { _, _ = ParseBeacon(b) },
+		func(b []byte) { _, _ = ParseAuth(b) },
+		func(b []byte) { _, _ = ParseAssocReq(b) },
+		func(b []byte) { _, _ = ParseAssocResp(b) },
+		func(b []byte) { _, _ = ParseReason(b) },
+		func(b []byte) { _, _ = ParseIEs(b) },
+		func(b []byte) { _, _, _ = DecapSNAP(b) },
+	}
+	if err := quick.Check(func(b []byte, which uint8) bool {
+		p := parsers[int(which)%len(parsers)]
+		defer func() {
+			if recover() != nil {
+				t.Fatalf("parser %d panicked on %x", int(which)%len(parsers), b)
+			}
+		}()
+		p(b)
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIEsWithPathologicalLengths(t *testing.T) {
+	// An IE claiming more data than the buffer holds.
+	if _, err := ParseIEs([]byte{0, 255, 1, 2, 3}); err == nil {
+		t.Error("overlong IE accepted")
+	}
+	// Zero-length IEs are legal and must terminate.
+	ies, err := ParseIEs([]byte{0, 0, 3, 0, 5, 0})
+	if err != nil || len(ies) != 3 {
+		t.Errorf("zero-length IEs: %v %v", ies, err)
+	}
+	// A giant chain of empty IEs parses in linear time without blowup.
+	big := make([]byte, 4096)
+	for i := range big {
+		if i%2 == 0 {
+			big[i] = byte(i % 250)
+		}
+	}
+	if _, err := ParseIEs(big); err != nil {
+		t.Errorf("alternating empty IEs rejected: %v", err)
+	}
+}
+
+func TestBeaconFromGarbageBody(t *testing.T) {
+	// Valid MPDU whose beacon body is garbage: Unmarshal succeeds (FCS is
+	// over the garbage), ParseBeacon must fail cleanly.
+	f := NewMgmt(SubtypeBeacon, Broadcast, addrB, addrB, []byte{1, 2, 3})
+	got, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseBeacon(got.Body); err == nil {
+		t.Error("3-byte beacon body accepted")
+	}
+}

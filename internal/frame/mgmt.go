@@ -1,0 +1,375 @@
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Information element IDs used by the management plane.
+const (
+	IESSID           = 0
+	IESupportedRates = 1
+	IEDSParam        = 3
+	IETIM            = 5
+)
+
+// IE is a type-length-value information element.
+type IE struct {
+	ID   uint8
+	Data []byte
+}
+
+// MarshalIEs serialises a list of information elements.
+func MarshalIEs(ies []IE) []byte {
+	var out []byte
+	for _, ie := range ies {
+		out = append(out, ie.ID, byte(len(ie.Data)))
+		out = append(out, ie.Data...)
+	}
+	return out
+}
+
+// ParseIEs parses information elements until the buffer is exhausted.
+func ParseIEs(b []byte) ([]IE, error) {
+	var ies []IE
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, ErrShortFrame
+		}
+		id, l := b[0], int(b[1])
+		if len(b) < 2+l {
+			return nil, ErrShortFrame
+		}
+		ies = append(ies, IE{ID: id, Data: append([]byte(nil), b[2:2+l]...)})
+		b = b[2+l:]
+	}
+	return ies, nil
+}
+
+// FindIE returns the first element with the given ID, or nil.
+func FindIE(ies []IE, id uint8) *IE {
+	for i := range ies {
+		if ies[i].ID == id {
+			return &ies[i]
+		}
+	}
+	return nil
+}
+
+// Capability bits advertised in beacons and (re)association frames.
+const (
+	CapESS     = 1 << 0
+	CapIBSS    = 1 << 1
+	CapPrivacy = 1 << 4
+)
+
+// Beacon is the parsed body of a beacon or probe-response frame.
+type Beacon struct {
+	Timestamp  uint64 // TSF in microseconds
+	IntervalTU uint16 // beacon interval in time units (1024 µs)
+	Capability uint16
+	SSID       string
+	Rates      []byte // supported rates in 500 kbit/s units
+	Channel    uint8
+	TIM        *TIM // nil when absent
+}
+
+// TIM is the traffic indication map element announcing buffered frames for
+// power-saving stations.
+type TIM struct {
+	DTIMCount  uint8
+	DTIMPeriod uint8
+	// Multicast indicates buffered group traffic (bitmap control bit 0).
+	Multicast bool
+	// AIDs lists association IDs with buffered unicast traffic. We encode
+	// the virtual bitmap exactly; parsing recovers this list.
+	AIDs []uint16
+}
+
+func (t *TIM) marshal() []byte {
+	// Build the partial virtual bitmap.
+	maxAID := uint16(0)
+	for _, a := range t.AIDs {
+		if a > maxAID {
+			maxAID = a
+		}
+	}
+	nBytes := int(maxAID)/8 + 1
+	bitmap := make([]byte, nBytes)
+	for _, a := range t.AIDs {
+		bitmap[a/8] |= 1 << (a % 8)
+	}
+	ctl := byte(0)
+	if t.Multicast {
+		ctl |= 0x01
+	}
+	out := []byte{t.DTIMCount, t.DTIMPeriod, ctl}
+	return append(out, bitmap...)
+}
+
+func parseTIM(b []byte) (*TIM, error) {
+	if len(b) < 4 {
+		return nil, errors.New("frame: TIM too short")
+	}
+	t := &TIM{
+		DTIMCount:  b[0],
+		DTIMPeriod: b[1],
+		Multicast:  b[2]&0x01 != 0,
+	}
+	bitmap := b[3:]
+	for i, by := range bitmap {
+		for bit := 0; bit < 8; bit++ {
+			if by&(1<<bit) != 0 {
+				t.AIDs = append(t.AIDs, uint16(i*8+bit))
+			}
+		}
+	}
+	return t, nil
+}
+
+// HasAID reports whether the TIM announces buffered traffic for aid.
+func (t *TIM) HasAID(aid uint16) bool {
+	if t == nil {
+		return false
+	}
+	for _, a := range t.AIDs {
+		if a == aid {
+			return true
+		}
+	}
+	return false
+}
+
+// MarshalBeacon builds a beacon/probe-response body.
+func MarshalBeacon(b *Beacon) []byte {
+	out := make([]byte, 12)
+	binary.LittleEndian.PutUint64(out[0:8], b.Timestamp)
+	binary.LittleEndian.PutUint16(out[8:10], b.IntervalTU)
+	binary.LittleEndian.PutUint16(out[10:12], b.Capability)
+	ies := []IE{
+		{ID: IESSID, Data: []byte(b.SSID)},
+		{ID: IESupportedRates, Data: b.Rates},
+		{ID: IEDSParam, Data: []byte{b.Channel}},
+	}
+	if b.TIM != nil {
+		ies = append(ies, IE{ID: IETIM, Data: b.TIM.marshal()})
+	}
+	return append(out, MarshalIEs(ies)...)
+}
+
+// ParseBeacon parses a beacon/probe-response body.
+func ParseBeacon(body []byte) (*Beacon, error) {
+	if len(body) < 12 {
+		return nil, ErrShortFrame
+	}
+	b := &Beacon{
+		Timestamp:  binary.LittleEndian.Uint64(body[0:8]),
+		IntervalTU: binary.LittleEndian.Uint16(body[8:10]),
+		Capability: binary.LittleEndian.Uint16(body[10:12]),
+	}
+	ies, err := ParseIEs(body[12:])
+	if err != nil {
+		return nil, err
+	}
+	if ie := FindIE(ies, IESSID); ie != nil {
+		b.SSID = string(ie.Data)
+	}
+	if ie := FindIE(ies, IESupportedRates); ie != nil {
+		b.Rates = ie.Data
+	}
+	if ie := FindIE(ies, IEDSParam); ie != nil && len(ie.Data) == 1 {
+		b.Channel = ie.Data[0]
+	}
+	if ie := FindIE(ies, IETIM); ie != nil {
+		tim, err := parseTIM(ie.Data)
+		if err != nil {
+			return nil, err
+		}
+		b.TIM = tim
+	}
+	return b, nil
+}
+
+// Authentication algorithm numbers.
+const (
+	AuthAlgoOpen      = 0
+	AuthAlgoSharedKey = 1
+)
+
+// Status codes (subset).
+const (
+	StatusSuccess        = 0
+	StatusUnspecified    = 1
+	StatusAuthAlgoUnsupp = 13
+	StatusChallengeFail  = 15
+	StatusAssocDenied    = 17
+	StatusRatesUnsupp    = 18
+)
+
+// Auth is the body of an authentication frame.
+type Auth struct {
+	Algorithm uint16
+	SeqNum    uint16
+	Status    uint16
+	Challenge []byte // present in shared-key sequence 2 and 3
+}
+
+// MarshalAuth builds an authentication frame body.
+func MarshalAuth(a *Auth) []byte {
+	out := make([]byte, 6)
+	binary.LittleEndian.PutUint16(out[0:2], a.Algorithm)
+	binary.LittleEndian.PutUint16(out[2:4], a.SeqNum)
+	binary.LittleEndian.PutUint16(out[4:6], a.Status)
+	if len(a.Challenge) > 0 {
+		out = append(out, MarshalIEs([]IE{{ID: 16, Data: a.Challenge}})...)
+	}
+	return out
+}
+
+// ParseAuth parses an authentication frame body.
+func ParseAuth(body []byte) (*Auth, error) {
+	if len(body) < 6 {
+		return nil, ErrShortFrame
+	}
+	a := &Auth{
+		Algorithm: binary.LittleEndian.Uint16(body[0:2]),
+		SeqNum:    binary.LittleEndian.Uint16(body[2:4]),
+		Status:    binary.LittleEndian.Uint16(body[4:6]),
+	}
+	if len(body) > 6 {
+		ies, err := ParseIEs(body[6:])
+		if err != nil {
+			return nil, err
+		}
+		if ie := FindIE(ies, 16); ie != nil {
+			a.Challenge = ie.Data
+		}
+	}
+	return a, nil
+}
+
+// AssocReq is the body of an association request.
+type AssocReq struct {
+	Capability uint16
+	ListenIntv uint16
+	SSID       string
+	Rates      []byte
+}
+
+// MarshalAssocReq builds an association-request body.
+func MarshalAssocReq(a *AssocReq) []byte {
+	out := make([]byte, 4)
+	binary.LittleEndian.PutUint16(out[0:2], a.Capability)
+	binary.LittleEndian.PutUint16(out[2:4], a.ListenIntv)
+	return append(out, MarshalIEs([]IE{
+		{ID: IESSID, Data: []byte(a.SSID)},
+		{ID: IESupportedRates, Data: a.Rates},
+	})...)
+}
+
+// ParseAssocReq parses an association-request body.
+func ParseAssocReq(body []byte) (*AssocReq, error) {
+	if len(body) < 4 {
+		return nil, ErrShortFrame
+	}
+	a := &AssocReq{
+		Capability: binary.LittleEndian.Uint16(body[0:2]),
+		ListenIntv: binary.LittleEndian.Uint16(body[2:4]),
+	}
+	ies, err := ParseIEs(body[4:])
+	if err != nil {
+		return nil, err
+	}
+	if ie := FindIE(ies, IESSID); ie != nil {
+		a.SSID = string(ie.Data)
+	}
+	if ie := FindIE(ies, IESupportedRates); ie != nil {
+		a.Rates = ie.Data
+	}
+	return a, nil
+}
+
+// AssocResp is the body of an association response.
+type AssocResp struct {
+	Capability uint16
+	Status     uint16
+	AID        uint16
+	Rates      []byte
+}
+
+// MarshalAssocResp builds an association-response body.
+func MarshalAssocResp(a *AssocResp) []byte {
+	out := make([]byte, 6)
+	binary.LittleEndian.PutUint16(out[0:2], a.Capability)
+	binary.LittleEndian.PutUint16(out[2:4], a.Status)
+	binary.LittleEndian.PutUint16(out[4:6], a.AID)
+	return append(out, MarshalIEs([]IE{{ID: IESupportedRates, Data: a.Rates}})...)
+}
+
+// ParseAssocResp parses an association-response body.
+func ParseAssocResp(body []byte) (*AssocResp, error) {
+	if len(body) < 6 {
+		return nil, ErrShortFrame
+	}
+	a := &AssocResp{
+		Capability: binary.LittleEndian.Uint16(body[0:2]),
+		Status:     binary.LittleEndian.Uint16(body[2:4]),
+		AID:        binary.LittleEndian.Uint16(body[4:6]),
+	}
+	ies, err := ParseIEs(body[6:])
+	if err != nil {
+		return nil, err
+	}
+	if ie := FindIE(ies, IESupportedRates); ie != nil {
+		a.Rates = ie.Data
+	}
+	return a, nil
+}
+
+// Reason codes for deauthentication/disassociation.
+const (
+	ReasonUnspecified = 1
+	ReasonAuthExpired = 2
+	ReasonLeavingBSS  = 3
+	ReasonInactivity  = 4
+)
+
+// MarshalReason builds a deauth/disassoc body.
+func MarshalReason(reason uint16) []byte {
+	out := make([]byte, 2)
+	binary.LittleEndian.PutUint16(out, reason)
+	return out
+}
+
+// ParseReason parses a deauth/disassoc body.
+func ParseReason(body []byte) (uint16, error) {
+	if len(body) < 2 {
+		return 0, ErrShortFrame
+	}
+	return binary.LittleEndian.Uint16(body), nil
+}
+
+// NewMgmt builds a management frame with the common 3-address layout: RA,
+// TA, BSSID.
+func NewMgmt(subtype Subtype, ra, ta, bssid MACAddr, body []byte) *Frame {
+	return &Frame{Type: TypeManagement, Subtype: subtype, Addr1: ra, Addr2: ta, Addr3: bssid, Body: body}
+}
+
+// RateByte encodes a rate in 500 kbit/s units with the basic-rate flag.
+func RateByte(halfMbps int, basic bool) byte {
+	b := byte(halfMbps)
+	if basic {
+		b |= 0x80
+	}
+	return b
+}
+
+// DecodeRateByte splits a supported-rates entry.
+func DecodeRateByte(b byte) (halfMbps int, basic bool) {
+	return int(b & 0x7f), b&0x80 != 0
+}
+
+// ErrNotMgmt is returned when parsing a management body from a frame of the
+// wrong type.
+var ErrNotMgmt = fmt.Errorf("frame: not a management frame")

@@ -1,0 +1,230 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBeaconRoundTrip(t *testing.T) {
+	b := &Beacon{
+		Timestamp:  0x0123456789abcdef,
+		IntervalTU: 100,
+		Capability: CapESS | CapPrivacy,
+		SSID:       "testnet",
+		Rates:      []byte{RateByte(2, true), RateByte(22, false)},
+		Channel:    6,
+	}
+	got, err := ParseBeacon(MarshalBeacon(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Timestamp != b.Timestamp {
+		t.Errorf("timestamp = %#x", got.Timestamp)
+	}
+	if got.IntervalTU != 100 || got.Capability != (CapESS|CapPrivacy) {
+		t.Errorf("interval/cap = %d/%#x", got.IntervalTU, got.Capability)
+	}
+	if got.SSID != "testnet" {
+		t.Errorf("ssid = %q", got.SSID)
+	}
+	if got.Channel != 6 {
+		t.Errorf("channel = %d", got.Channel)
+	}
+	if !bytes.Equal(got.Rates, b.Rates) {
+		t.Errorf("rates = %v", got.Rates)
+	}
+	if got.TIM != nil {
+		t.Error("unexpected TIM")
+	}
+}
+
+func TestBeaconWithTIM(t *testing.T) {
+	b := &Beacon{
+		IntervalTU: 100,
+		SSID:       "ps",
+		Rates:      []byte{RateByte(2, true)},
+		Channel:    1,
+		TIM: &TIM{
+			DTIMCount:  1,
+			DTIMPeriod: 3,
+			Multicast:  true,
+			AIDs:       []uint16{1, 5, 17},
+		},
+	}
+	got, err := ParseBeacon(MarshalBeacon(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TIM == nil {
+		t.Fatal("TIM lost")
+	}
+	if got.TIM.DTIMCount != 1 || got.TIM.DTIMPeriod != 3 || !got.TIM.Multicast {
+		t.Errorf("TIM header: %+v", got.TIM)
+	}
+	for _, aid := range []uint16{1, 5, 17} {
+		if !got.TIM.HasAID(aid) {
+			t.Errorf("TIM missing AID %d", aid)
+		}
+	}
+	if got.TIM.HasAID(2) {
+		t.Error("TIM has spurious AID 2")
+	}
+	var nilTIM *TIM
+	if nilTIM.HasAID(1) {
+		t.Error("nil TIM claims AIDs")
+	}
+}
+
+func TestTIMPropertyRoundTrip(t *testing.T) {
+	if err := quick.Check(func(aidsRaw []uint16, count, period uint8, mc bool) bool {
+		aids := make([]uint16, 0, len(aidsRaw))
+		seen := map[uint16]bool{}
+		for _, a := range aidsRaw {
+			a %= 256 // keep bitmaps small
+			if a == 0 || seen[a] {
+				continue // AID 0 is the multicast bit position
+			}
+			seen[a] = true
+			aids = append(aids, a)
+		}
+		tim := &TIM{DTIMCount: count, DTIMPeriod: period, Multicast: mc, AIDs: aids}
+		got, err := parseTIM(tim.marshal())
+		if err != nil {
+			return false
+		}
+		if got.Multicast != mc {
+			return false
+		}
+		for _, a := range aids {
+			if !got.HasAID(a) {
+				return false
+			}
+		}
+		// No spurious AIDs either.
+		for _, a := range got.AIDs {
+			if a != 0 && !seen[a] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthRoundTrip(t *testing.T) {
+	a := &Auth{Algorithm: AuthAlgoSharedKey, SeqNum: 2, Status: StatusSuccess, Challenge: []byte("challenge-text-128")}
+	got, err := ParseAuth(MarshalAuth(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != AuthAlgoSharedKey || got.SeqNum != 2 || got.Status != StatusSuccess {
+		t.Errorf("auth fields: %+v", got)
+	}
+	if !bytes.Equal(got.Challenge, a.Challenge) {
+		t.Errorf("challenge = %q", got.Challenge)
+	}
+	// Without challenge.
+	a2 := &Auth{Algorithm: AuthAlgoOpen, SeqNum: 1}
+	got2, err := ParseAuth(MarshalAuth(a2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Challenge) != 0 {
+		t.Error("spurious challenge")
+	}
+}
+
+func TestAssocRoundTrip(t *testing.T) {
+	req := &AssocReq{Capability: CapESS, ListenIntv: 10, SSID: "net", Rates: []byte{0x82, 0x84}}
+	gotReq, err := ParseAssocReq(MarshalAssocReq(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.SSID != "net" || gotReq.ListenIntv != 10 || !bytes.Equal(gotReq.Rates, req.Rates) {
+		t.Errorf("assoc req: %+v", gotReq)
+	}
+
+	resp := &AssocResp{Capability: CapESS, Status: StatusSuccess, AID: 3, Rates: []byte{0x82}}
+	gotResp, err := ParseAssocResp(MarshalAssocResp(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotResp.AID != 3 || gotResp.Status != StatusSuccess {
+		t.Errorf("assoc resp: %+v", gotResp)
+	}
+}
+
+func TestReasonRoundTrip(t *testing.T) {
+	body := MarshalReason(ReasonLeavingBSS)
+	r, err := ParseReason(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != ReasonLeavingBSS {
+		t.Errorf("reason = %d", r)
+	}
+	if _, err := ParseReason(nil); err == nil {
+		t.Error("empty reason accepted")
+	}
+}
+
+func TestIEParsing(t *testing.T) {
+	raw := MarshalIEs([]IE{
+		{ID: IESSID, Data: []byte("abc")},
+		{ID: IEDSParam, Data: []byte{11}},
+	})
+	ies, err := ParseIEs(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ies) != 2 {
+		t.Fatalf("parsed %d IEs", len(ies))
+	}
+	if ie := FindIE(ies, IESSID); ie == nil || string(ie.Data) != "abc" {
+		t.Error("SSID IE lost")
+	}
+	if FindIE(ies, IETIM) != nil {
+		t.Error("phantom TIM IE")
+	}
+	// Truncated IEs must error, not panic.
+	if _, err := ParseIEs([]byte{0, 5, 1}); err == nil {
+		t.Error("truncated IE accepted")
+	}
+	if _, err := ParseIEs([]byte{0}); err == nil {
+		t.Error("lone ID byte accepted")
+	}
+}
+
+func TestRateByte(t *testing.T) {
+	b := RateByte(11, true) // 5.5 Mbit/s basic
+	half, basic := DecodeRateByte(b)
+	if half != 11 || !basic {
+		t.Errorf("rate byte decode: %d %v", half, basic)
+	}
+	b2 := RateByte(108, false) // 54 Mbit/s
+	half2, basic2 := DecodeRateByte(b2)
+	if half2 != 108 || basic2 {
+		t.Errorf("rate byte decode: %d %v", half2, basic2)
+	}
+}
+
+func TestMgmtFrameInsideMPDU(t *testing.T) {
+	beacon := &Beacon{IntervalTU: 100, SSID: "x", Rates: []byte{0x82}, Channel: 1}
+	f := NewMgmt(SubtypeBeacon, Broadcast, addrB, addrB, MarshalBeacon(beacon))
+	got, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeManagement || got.Subtype != SubtypeBeacon {
+		t.Fatalf("mgmt frame type lost: %v/%v", got.Type, got.Subtype)
+	}
+	parsed, err := ParseBeacon(got.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.SSID != "x" {
+		t.Errorf("beacon ssid through MPDU = %q", parsed.SSID)
+	}
+}

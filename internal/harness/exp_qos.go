@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(&Experiment{
+		ID:     "F13",
+		Title:  "Priority access (EDCA-style AIFS/CW differentiation) under load",
+		Expect: "a voice-class station (AIFSN 2, CW 7) keeps millisecond latency while background saturators (AIFSN 7, CW 63+) absorb the queueing; without differentiation voice latency blows up",
+		Run:    runF13,
+	})
+}
+
+// runF13 contrasts a voice-like CBR flow against saturating background
+// traffic, with and without EDCA-style access differentiation.
+func runF13(quick bool) *stats.Table {
+	t := stats.NewTable("F13: priority access (voice CBR 160B/20ms vs saturated background, 802.11b)",
+		"scheme", "voice mean ms", "voice p95 ms", "voice loss %", "bg Mbit/s")
+	const nBG = 8 // enough contention that legacy voice latency blows up
+	dur := runDur(quick, 3*sim.Second, 8*sim.Second)
+
+	run := func(prioritized bool) []string {
+		net := core.NewNetwork(core.Config{Seed: 1600})
+		sink := net.AddAdhoc("sink", geom.Pt(0, 0))
+		pts := geom.Circle(nBG+1, 4, geom.Pt(0, 0))
+
+		var voice *core.Node
+		if prioritized {
+			voice = net.AddAdhocOpts("voice", pts[0], core.NodeOpts{CWmin: 7, CWmax: 15, AIFSN: 2})
+		} else {
+			voice = net.AddAdhoc("voice", pts[0])
+		}
+		voiceFlow := net.CBR(voice, sink, 160, 20*sim.Millisecond)
+
+		bgFlows := make([]uint32, nBG)
+		for i := 0; i < nBG; i++ {
+			var bg *core.Node
+			name := fmt.Sprintf("bg%d", i)
+			if prioritized {
+				bg = net.AddAdhocOpts(name, pts[i+1], core.NodeOpts{CWmin: 63, CWmax: 1023, AIFSN: 7})
+			} else {
+				bg = net.AddAdhoc(name, pts[i+1])
+			}
+			bgFlows[i] = net.Saturate(bg, sink, 1000)
+		}
+		net.Run(dur)
+
+		vs := net.FlowStats(voiceFlow)
+		mean, p95, loss := 0.0, 0.0, 100.0
+		if vs != nil {
+			mean = vs.Latency.Mean() * 1000
+			p95 = vs.LatencyH.Quantile(0.95) * 1000
+			loss = 100 * vs.LossRatio()
+		}
+		scheme := "legacy DCF"
+		if prioritized {
+			scheme = "EDCA-style"
+		}
+		return []string{scheme, stats.F(mean, 2), stats.F(p95, 2),
+			stats.F(loss, 1), stats.Mbps(sumThroughput(net, bgFlows))}
+	}
+
+	t.AddRow(run(false)...)
+	t.AddRow(run(true)...)
+	t.Note = "voice: AIFSN 2 + CW[7,15]; background: AIFSN 7 + CW[63,1023]; all share one channel"
+	return t
+}

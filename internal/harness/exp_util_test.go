@@ -1,0 +1,7 @@
+package harness
+
+import "math"
+
+// expImpl delegates to math.Exp; kept separate so the main test file reads
+// cleanly.
+func expImpl(x float64) float64 { return math.Exp(x) }

@@ -1,0 +1,126 @@
+// Package harness defines and runs the evaluation suite: one experiment per
+// table/figure in DESIGN.md's experiment index. Each experiment builds its
+// scenario through the core API, runs it, and renders a stats.Table whose
+// rows are the series the corresponding figure plots.
+//
+// Because the true paper text was unavailable (see the mismatch note in
+// DESIGN.md), the suite is the canonical evaluation set for an 802.11
+// MAC/driver mechanism paper; EXPERIMENTS.md records the expected-vs-
+// measured shape for every entry.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	// ID is the experiment key: "T1", "F1" … "F12", "S1".
+	ID string
+	// Title is the human-readable name.
+	Title string
+	// Expect describes the shape the literature predicts.
+	Expect string
+	// Run executes the experiment; quick mode trades points/runtime for
+	// speed (used by tests and benchmarks).
+	Run func(quick bool) *stats.Table
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns an experiment or nil.
+func ByID(id string) *Experiment { return registry[id] }
+
+// All returns the experiments sorted by ID (T1 first, then F1..F12, S1).
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return expKey(out[i].ID) < expKey(out[j].ID) })
+	return out
+}
+
+// expKey orders T* before F* before S*, numerically within each class.
+func expKey(id string) int {
+	if len(id) < 2 {
+		return 1 << 20
+	}
+	var base int
+	switch id[0] {
+	case 'T':
+		base = 0
+	case 'F':
+		base = 100
+	case 'S':
+		base = 1000
+	case 'A':
+		base = 2000
+	default:
+		base = 1 << 19
+	}
+	n := 0
+	fmt.Sscanf(id[1:], "%d", &n)
+	return base + n
+}
+
+// --- shared scenario builders -------------------------------------------------
+
+// star builds n saturated adhoc senders on a tight circle around a sink and
+// returns the network, the sink node and the flow IDs (one per sender).
+func star(cfg core.Config, n, payload int) (*core.Network, *core.Node, []uint32) {
+	net := core.NewNetwork(cfg)
+	sink := net.AddAdhoc("sink", geom.Pt(0, 0))
+	flows := make([]uint32, n)
+	pts := geom.Circle(n, 3, geom.Pt(0, 0))
+	for i := 0; i < n; i++ {
+		s := net.AddAdhoc(fmt.Sprintf("sta%d", i), pts[i])
+		flows[i] = net.Saturate(s, sink, payload)
+	}
+	return net, sink, flows
+}
+
+// sumThroughput adds up per-flow goodput.
+func sumThroughput(net *core.Network, flows []uint32) float64 {
+	var total float64
+	for _, f := range flows {
+		total += net.FlowThroughput(f)
+	}
+	return total
+}
+
+// perFlowThroughput returns each flow's goodput.
+func perFlowThroughput(net *core.Network, flows []uint32) []float64 {
+	out := make([]float64, len(flows))
+	for i, f := range flows {
+		out[i] = net.FlowThroughput(f)
+	}
+	return out
+}
+
+// pick returns the quick or full variant.
+func pick[T any](quick bool, q, full T) T {
+	if quick {
+		return q
+	}
+	return full
+}
+
+// runDur is a convenience for experiment run times.
+func runDur(quick bool, q, full sim.Duration) sim.Duration {
+	return pick(quick, q, full)
+}

@@ -1,0 +1,610 @@
+package mac
+
+import (
+	"math"
+
+	"repro/internal/frame"
+	"repro/internal/medium"
+	"repro/internal/phy"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// DCF is one station's distributed coordination function instance. All
+// methods must be called from kernel context.
+type DCF struct {
+	k     *sim.Kernel
+	radio *medium.Radio
+	mode  *phy.Mode
+	cfg   Config
+	rc    RateController
+	rng   *rng.Source
+
+	receiver Receiver
+
+	queue []*txJob
+	cur   *txJob
+
+	// Channel state tracking.
+	busy         bool     // physical CCA (includes own TX)
+	mediumIdleAt sim.Time // start of the current physical idle period
+	navUntil     sim.Time
+	navTimer     *sim.Event
+	useEIFS      bool // last reception errored; next IFS is EIFS
+
+	// Backoff: -1 means no backoff pending.
+	backoffSlots int
+	cw           int
+	accessTimer  *sim.Event
+
+	// Response waiting.
+	pending   respKind
+	respTimer *sim.Event
+
+	// Committed SIFS response in flight (scheduled or transmitting).
+	sifsEvent *sim.Event
+	lastTx    lastTxKind
+
+	seq   uint16
+	dedup *dedupCache
+	reasm *reassembler
+
+	stats Stats
+}
+
+// New builds a DCF attached to the given radio and installs itself as the
+// radio's listener.
+func New(k *sim.Kernel, radio *medium.Radio, cfg Config, rc RateController, src *rng.Source) *DCF {
+	if cfg.Mode == nil {
+		cfg.Mode = radio.Mode()
+	}
+	cfg.fillDefaults(cfg.Mode)
+	d := &DCF{
+		k:            k,
+		radio:        radio,
+		mode:         cfg.Mode,
+		cfg:          cfg,
+		rc:           rc,
+		rng:          src.Split("dcf:" + radio.Name()),
+		backoffSlots: -1,
+		cw:           cfg.CWmin,
+		dedup:        newDedupCache(),
+		reasm:        newReassembler(),
+	}
+	radio.SetListener(d)
+	return d
+}
+
+// Address returns the station MAC address.
+func (d *DCF) Address() frame.MACAddr { return d.cfg.Address }
+
+// Radio returns the radio this MAC drives.
+func (d *DCF) Radio() *medium.Radio { return d.radio }
+
+// Mode returns the PHY mode the MAC operates with.
+func (d *DCF) Mode() *phy.Mode { return d.mode }
+
+// Stats returns a snapshot of the MAC counters.
+func (d *DCF) Stats() Stats { return d.stats }
+
+// QueueLen returns the number of queued MSDUs (excluding the in-flight one).
+func (d *DCF) QueueLen() int { return len(d.queue) }
+
+// Busy reports whether the MAC has work in flight or queued.
+func (d *DCF) Busy() bool { return d.cur != nil || len(d.queue) > 0 }
+
+// SetReceiver installs the upward delivery callback.
+func (d *DCF) SetReceiver(r Receiver) { d.receiver = r }
+
+// Enqueue accepts an MSDU (data or management frame) for transmission. The
+// caller sets the address fields; the MAC owns Seq/Frag/Retry/Duration. It
+// returns false when the queue is full.
+func (d *DCF) Enqueue(f *frame.Frame) bool {
+	if len(d.queue) >= d.cfg.QueueCap {
+		d.stats.QueueDrops++
+		return false
+	}
+	job := d.makeJob(f)
+	d.queue = append(d.queue, job)
+	d.stats.MSDUQueued++
+	d.tryAccess()
+	return true
+}
+
+// makeJob assigns the sequence number and performs fragmentation.
+func (d *DCF) makeJob(f *frame.Frame) *txJob {
+	seq := d.seq
+	d.seq = (d.seq + 1) % frame.MaxSeq
+
+	job := &txJob{}
+	mpduLen := f.WireLen()
+	group := f.Addr1.IsGroup()
+	fragPayload := d.cfg.FragThreshold - frame.DataHdrLen - frame.FCSLen
+	if !group && mpduLen > d.cfg.FragThreshold && len(f.Body) > fragPayload && fragPayload > 0 {
+		body := f.Body
+		for i := 0; len(body) > 0; i++ {
+			n := fragPayload
+			if n > len(body) {
+				n = len(body)
+			}
+			frag := *f
+			frag.Body = body[:n]
+			frag.Seq = seq
+			frag.Frag = uint8(i)
+			frag.MoreFrag = n < len(body)
+			body = body[n:]
+			fcopy := frag
+			job.frags = append(job.frags, &fcopy)
+		}
+	} else {
+		f.Seq = seq
+		f.Frag = 0
+		f.MoreFrag = false
+		job.frags = []*frame.Frame{f}
+	}
+	job.useRTS = !group && mpduLen >= d.cfg.RTSThreshold
+	return job
+}
+
+// --- channel state --------------------------------------------------------
+
+// OnCCABusy implements medium.Listener.
+func (d *DCF) OnCCABusy() {
+	if d.busy {
+		return
+	}
+	d.busy = true
+	// Freeze backoff: account for slots consumed since countdown start.
+	if d.accessTimer.Scheduled() {
+		d.k.Cancel(d.accessTimer)
+		d.accessTimer = nil
+	}
+	if d.backoffSlots > 0 {
+		start := d.countdownStart()
+		if now := d.k.Now(); now > start {
+			consumed := int(now.Sub(start) / d.mode.Slot)
+			if consumed > d.backoffSlots {
+				consumed = d.backoffSlots
+			}
+			d.backoffSlots -= consumed
+		}
+	}
+	// A station whose immediate-access DIFS window is interrupted must fall
+	// back to a random backoff.
+	if d.cur != nil && d.backoffSlots < 0 && !d.radio.Transmitting() {
+		d.drawBackoff()
+	}
+}
+
+// OnCCAIdle implements medium.Listener.
+func (d *DCF) OnCCAIdle() {
+	d.busy = false
+	d.mediumIdleAt = d.k.Now()
+	d.tryAccess()
+}
+
+// countdownStart returns the instant the current backoff countdown began:
+// idle start plus the applicable IFS.
+func (d *DCF) countdownStart() sim.Time {
+	idle := d.mediumIdleAt
+	if d.navUntil > idle {
+		idle = d.navUntil
+	}
+	return idle.Add(d.ifs())
+}
+
+// aifs returns this station's arbitration IFS: SIFS + AIFSN slots (AIFSN=2
+// recovers the legacy DIFS).
+func (d *DCF) aifs() sim.Duration {
+	return d.mode.SIFS + sim.Duration(d.cfg.AIFSN)*d.mode.Slot
+}
+
+func (d *DCF) ifs() sim.Duration {
+	extra := d.aifs() - d.mode.DIFS()
+	if d.useEIFS {
+		return d.mode.EIFS() + extra
+	}
+	return d.aifs()
+}
+
+func (d *DCF) drawBackoff() {
+	d.backoffSlots = d.rng.Intn(d.cw + 1)
+	d.stats.BackoffSlots += uint64(d.backoffSlots)
+}
+
+func (d *DCF) doubleCW() {
+	d.cw = d.cw*2 + 1
+	if d.cw > d.cfg.CWmax {
+		d.cw = d.cfg.CWmax
+	}
+}
+
+func (d *DCF) resetCW() { d.cw = d.cfg.CWmin }
+
+// --- channel access -------------------------------------------------------
+
+// tryAccess evaluates whether a transmission can start, now or at a
+// scheduled future instant. It is invoked on every event that could unblock
+// access: enqueue, CCA idle, NAV expiry, TX completion, timeouts.
+func (d *DCF) tryAccess() {
+	if d.cur == nil {
+		if len(d.queue) == 0 {
+			return
+		}
+		d.cur = d.queue[0]
+		d.queue = d.queue[1:]
+	}
+	if d.radio.Transmitting() || d.pending != respNone || d.sifsEvent.Scheduled() {
+		return
+	}
+	now := d.k.Now()
+	if d.busy {
+		// Will retry on the idle edge; make sure a backoff exists so we do
+		// not grab the channel the instant it frees.
+		if d.backoffSlots < 0 {
+			d.drawBackoff()
+		}
+		return
+	}
+	if now < d.navUntil {
+		// Virtual carrier sense: wait out the NAV.
+		if !d.navTimer.Scheduled() {
+			d.navTimer = d.k.ScheduleAt(d.navUntil, "nav-expiry:"+d.radio.Name(), func() {
+				d.tryAccess()
+			})
+		}
+		if d.backoffSlots < 0 {
+			d.drawBackoff()
+		}
+		return
+	}
+
+	txAt := d.countdownStart()
+	if d.backoffSlots > 0 {
+		txAt = txAt.Add(sim.Duration(d.backoffSlots) * d.mode.Slot)
+	}
+	if now >= txAt {
+		d.backoffSlots = -1
+		d.transmitCurrent()
+		return
+	}
+	if d.accessTimer.Scheduled() {
+		d.k.Cancel(d.accessTimer)
+	}
+	d.accessTimer = d.k.ScheduleAt(txAt, "access:"+d.radio.Name(), func() {
+		// Re-run the full guard set: state may have changed since this
+		// timer was armed (a response wait, a SIFS commitment, new NAV).
+		d.tryAccess()
+	})
+}
+
+// airtimeUs returns a frame's airtime in whole microseconds (rounded up).
+func airtimeUs(m *phy.Mode, ri phy.RateIdx, bytes int) uint16 {
+	us := math.Ceil(m.Airtime(ri, bytes).Microseconds())
+	if us > 65535 {
+		us = 65535
+	}
+	return uint16(us)
+}
+
+func durToUs(dur sim.Duration) uint16 {
+	us := math.Ceil(dur.Microseconds())
+	if us > 32767 { // Duration field caps at 32767 for NAV values
+		us = 32767
+	}
+	return uint16(us)
+}
+
+// transmitCurrent sends the current job's next MPDU (RTS first if armed).
+func (d *DCF) transmitCurrent() {
+	job := d.cur
+	if job == nil || d.radio.Transmitting() {
+		return
+	}
+	mpdu := job.cur()
+	job.rate = d.rc.SelectRate(job.dst(), mpdu.WireLen(), job.attempt)
+
+	if job.useRTS && !job.gotCTS {
+		d.sendRTS(job)
+		return
+	}
+	d.sendDataMPDU(job)
+}
+
+func (d *DCF) sendRTS(job *txJob) {
+	ctrlRate := d.mode.ControlRate(job.rate)
+	mpdu := job.cur()
+	// NAV covers CTS + DATA + ACK and the three SIFS gaps.
+	nav := 3*d.mode.SIFS +
+		d.mode.Airtime(ctrlRate, frame.CTSLen) +
+		d.mode.Airtime(job.rate, mpdu.WireLen()) +
+		d.mode.Airtime(d.mode.ControlRate(job.rate), frame.ACKLen)
+	rts := frame.NewRTS(job.dst(), d.cfg.Address, durToUs(nav))
+	d.lastTx = txRTS
+	d.stats.RTSTx++
+	d.radio.Transmit(rts, ctrlRate)
+}
+
+func (d *DCF) sendDataMPDU(job *txJob) {
+	mpdu := job.cur()
+	mpdu.Retry = job.attempt > 0
+	group := mpdu.Addr1.IsGroup()
+	ackRate := d.mode.ControlRate(job.rate)
+	ackTime := d.mode.Airtime(ackRate, frame.ACKLen)
+	switch {
+	case mpdu.Type == frame.TypeControl && mpdu.Subtype == frame.SubtypePSPoll:
+		// A PS-Poll's Duration field carries the AID, never a NAV value.
+		d.lastTx = txData // PS-Poll is acknowledged like a data frame
+	case group:
+		mpdu.Duration = 0
+		d.lastTx = txBroadcast
+	case mpdu.MoreFrag:
+		next := job.frags[job.fragIdx+1]
+		nav := 3*d.mode.SIFS + 2*ackTime + d.mode.Airtime(job.rate, next.WireLen())
+		mpdu.Duration = durToUs(nav)
+		d.lastTx = txData
+	default:
+		mpdu.Duration = durToUs(d.mode.SIFS + ackTime)
+		d.lastTx = txData
+	}
+	d.stats.DataTx++
+	if job.attempt > 0 {
+		d.stats.Retries++
+	}
+	job.attempt++
+	d.radio.Transmit(mpdu, job.rate)
+}
+
+// --- radio callbacks ------------------------------------------------------
+
+// OnTxDone implements medium.Listener.
+func (d *DCF) OnTxDone() {
+	// Own transmission no longer occupies the medium; if no external energy
+	// is present the CCA idle edge has already updated mediumIdleAt.
+	switch d.lastTx {
+	case txRTS:
+		d.pending = respCTS
+		ctrl := d.mode.LowestBasic()
+		timeout := d.mode.SIFS + d.mode.Airtime(ctrl, frame.CTSLen) + 2*d.mode.Slot + 10*sim.Microsecond
+		d.respTimer = d.k.Schedule(timeout, "cts-timeout:"+d.radio.Name(), d.onCTSTimeout)
+	case txData:
+		d.pending = respACK
+		ctrl := d.mode.LowestBasic()
+		timeout := d.mode.SIFS + d.mode.Airtime(ctrl, frame.ACKLen) + 2*d.mode.Slot + 10*sim.Microsecond
+		d.respTimer = d.k.Schedule(timeout, "ack-timeout:"+d.radio.Name(), d.onACKTimeout)
+	case txBroadcast:
+		d.finishJob(true)
+	case txCTS, txACK:
+		d.tryAccess()
+	}
+	d.lastTx = txNone
+}
+
+func (d *DCF) onCTSTimeout() {
+	if d.pending != respCTS {
+		return
+	}
+	d.pending = respNone
+	d.stats.CTSTimeouts++
+	job := d.cur
+	job.src++
+	if job.src > d.cfg.ShortRetryLimit {
+		d.dropJob()
+		return
+	}
+	d.doubleCW()
+	d.drawBackoff()
+	d.tryAccess()
+}
+
+func (d *DCF) onACKTimeout() {
+	if d.pending != respACK {
+		return
+	}
+	d.pending = respNone
+	d.stats.ACKTimeouts++
+	job := d.cur
+	d.rc.OnTxResult(job.dst(), job.rate, false)
+
+	mpdu := job.cur()
+	limit := d.cfg.ShortRetryLimit
+	counter := &job.src
+	if mpdu.WireLen() >= d.cfg.RTSThreshold {
+		limit = d.cfg.LongRetryLimit
+		counter = &job.lrc
+	}
+	*counter++
+	if *counter > limit {
+		d.dropJob()
+		return
+	}
+	job.gotCTS = false // a protected exchange restarts from RTS
+	d.doubleCW()
+	d.drawBackoff()
+	d.tryAccess()
+}
+
+// dropJob abandons the current MSDU at its retry limit.
+func (d *DCF) dropJob() {
+	d.stats.MSDUDropped++
+	d.cur = nil
+	d.resetCW()
+	d.drawBackoff()
+	d.tryAccess()
+}
+
+// finishJob completes the current fragment (and possibly the MSDU).
+func (d *DCF) finishJob(lastFragment bool) {
+	job := d.cur
+	if job == nil {
+		return
+	}
+	if !lastFragment {
+		// Advance to the next fragment; it is sent SIFS after the ACK.
+		job.fragIdx++
+		job.attempt = 0
+		job.src, job.lrc = 0, 0
+		d.scheduleSIFS(func() {
+			if d.cur == job {
+				d.transmitCurrent()
+			}
+		})
+		return
+	}
+	d.stats.MSDUDelivered++
+	d.cur = nil
+	d.resetCW()
+	d.drawBackoff()
+	d.tryAccess()
+}
+
+// scheduleSIFS commits a response transmission one SIFS from now; committed
+// responses ignore CCA by design.
+func (d *DCF) scheduleSIFS(fn func()) {
+	d.sifsEvent = d.k.Schedule(d.mode.SIFS, "sifs:"+d.radio.Name(), func() {
+		d.sifsEvent = nil
+		fn()
+	})
+}
+
+// OnRxError implements medium.Listener: an FCS-errored reception imposes
+// EIFS on the next access.
+func (d *DCF) OnRxError(medium.RxInfo) {
+	d.useEIFS = true
+	d.stats.EIFSDeferrals++
+}
+
+// OnRxFrame implements medium.Listener.
+func (d *DCF) OnRxFrame(f *frame.Frame, info medium.RxInfo) {
+	d.useEIFS = false
+
+	switch {
+	case f.Addr1 == d.cfg.Address:
+		d.handleAddressed(f, info)
+	case f.Addr1.IsGroup():
+		if f.Type == frame.TypeData || f.Type == frame.TypeManagement {
+			d.deliverUp(f, info)
+		}
+	default:
+		// Overheard: virtual carrier sense. PS-Poll carries an AID in the
+		// Duration field, not a NAV value.
+		if !(f.Type == frame.TypeControl && f.Subtype == frame.SubtypePSPoll) && f.Duration > 0 && f.Duration <= 32767 {
+			until := info.End.Add(sim.Duration(f.Duration) * sim.Microsecond)
+			if until > d.navUntil {
+				d.navUntil = until
+				d.stats.NAVSets++
+			}
+		}
+		if d.cfg.Promiscuous {
+			d.deliverUp(f, info)
+		}
+	}
+}
+
+func (d *DCF) handleAddressed(f *frame.Frame, info medium.RxInfo) {
+	switch f.Type {
+	case frame.TypeControl:
+		switch f.Subtype {
+		case frame.SubtypeRTS:
+			d.handleRTS(f, info)
+		case frame.SubtypeCTS:
+			d.handleCTS(f, info)
+		case frame.SubtypeACK:
+			d.handleACK()
+		case frame.SubtypePSPoll:
+			// Delivered upward; net80211 responds with buffered data.
+			d.sendACK(f, info)
+			d.deliverUp(f, info)
+		}
+	case frame.TypeData, frame.TypeManagement:
+		d.sendACK(f, info)
+		if d.dedup.isDuplicate(f) {
+			d.stats.RxDup++
+			return
+		}
+		d.stats.RxData++
+		if msdu := d.reasm.add(f); msdu != nil {
+			d.deliverUp(msdu, info)
+		}
+	}
+}
+
+// handleRTS answers with CTS unless our NAV says the medium is reserved.
+func (d *DCF) handleRTS(f *frame.Frame, info medium.RxInfo) {
+	if d.k.Now() < d.navUntil {
+		return
+	}
+	ctrl := d.mode.ControlRate(info.Rate)
+	ctsTime := d.mode.Airtime(ctrl, frame.CTSLen)
+	dur := sim.Duration(f.Duration)*sim.Microsecond - d.mode.SIFS - ctsTime
+	if dur < 0 {
+		dur = 0
+	}
+	cts := frame.NewCTS(f.Addr2, durToUs(dur))
+	d.scheduleSIFS(func() {
+		if d.radio.Transmitting() {
+			return
+		}
+		d.lastTx = txCTS
+		d.stats.CTSTx++
+		d.radio.Transmit(cts, ctrl)
+	})
+}
+
+func (d *DCF) handleCTS(f *frame.Frame, info medium.RxInfo) {
+	if d.pending != respCTS {
+		return
+	}
+	d.pending = respNone
+	d.k.Cancel(d.respTimer)
+	job := d.cur
+	job.gotCTS = true
+	job.src = 0 // successful RTS/CTS resets the short retry counter
+	d.scheduleSIFS(func() {
+		if d.cur == job && !d.radio.Transmitting() {
+			d.sendDataMPDU(job)
+		}
+	})
+}
+
+func (d *DCF) handleACK() {
+	if d.pending != respACK {
+		return
+	}
+	d.pending = respNone
+	d.k.Cancel(d.respTimer)
+	job := d.cur
+	d.rc.OnTxResult(job.dst(), job.rate, true)
+	last := job.fragIdx == len(job.frags)-1
+	d.finishJob(last)
+}
+
+// sendACK schedules the committed SIFS acknowledgement for a received frame.
+func (d *DCF) sendACK(f *frame.Frame, info medium.RxInfo) {
+	ctrl := d.mode.ControlRate(info.Rate)
+	ackTime := d.mode.Airtime(ctrl, frame.ACKLen)
+	var dur sim.Duration
+	if f.MoreFrag {
+		dur = sim.Duration(f.Duration)*sim.Microsecond - d.mode.SIFS - ackTime
+		if dur < 0 {
+			dur = 0
+		}
+	}
+	ack := frame.NewACK(f.Addr2, durToUs(dur))
+	d.scheduleSIFS(func() {
+		if d.radio.Transmitting() {
+			return
+		}
+		d.lastTx = txACK
+		d.stats.ACKTx++
+		d.radio.Transmit(ack, ctrl)
+	})
+}
+
+func (d *DCF) deliverUp(f *frame.Frame, info medium.RxInfo) {
+	if d.receiver == nil {
+		return
+	}
+	d.stats.RxDeliver++
+	d.receiver(f, info)
+}

@@ -1,0 +1,84 @@
+package mac
+
+import (
+	"repro/internal/frame"
+)
+
+// dedupCache implements the receiver duplicate-detection cache: one
+// (sequence, fragment) tuple per transmitter address, consulted only when
+// the Retry bit is set, per the standard.
+type dedupCache struct {
+	last map[frame.MACAddr]uint32
+}
+
+func newDedupCache() *dedupCache {
+	return &dedupCache{last: make(map[frame.MACAddr]uint32)}
+}
+
+func key(f *frame.Frame) uint32 { return uint32(f.Seq)<<4 | uint32(f.Frag) }
+
+// isDuplicate reports whether f repeats the previously accepted MPDU from
+// its transmitter. Non-duplicates are recorded.
+func (c *dedupCache) isDuplicate(f *frame.Frame) bool {
+	k := key(f)
+	if f.Retry {
+		if prev, ok := c.last[f.Addr2]; ok && prev == k {
+			return true
+		}
+	}
+	c.last[f.Addr2] = k
+	return false
+}
+
+// partial is an MSDU being reassembled from fragments.
+type partial struct {
+	seq      uint16
+	nextFrag uint8
+	first    *frame.Frame
+	body     []byte
+}
+
+// reassembler rebuilds fragmented MSDUs per transmitter. Out-of-order or
+// interleaved fragments abort the partial (the sender would have to retry
+// the whole MSDU anyway).
+type reassembler struct {
+	partials map[frame.MACAddr]*partial
+}
+
+func newReassembler() *reassembler {
+	return &reassembler{partials: make(map[frame.MACAddr]*partial)}
+}
+
+// add consumes an accepted in-order MPDU and returns a complete MSDU frame
+// when available, or nil while reassembly is in progress.
+func (r *reassembler) add(f *frame.Frame) *frame.Frame {
+	if f.Frag == 0 && !f.MoreFrag {
+		delete(r.partials, f.Addr2) // a fresh unfragmented MSDU cancels any partial
+		return f
+	}
+	if f.Frag == 0 {
+		cp := *f
+		r.partials[f.Addr2] = &partial{
+			seq:      f.Seq,
+			nextFrag: 1,
+			first:    &cp,
+			body:     append([]byte(nil), f.Body...),
+		}
+		return nil
+	}
+	p := r.partials[f.Addr2]
+	if p == nil || p.seq != f.Seq || p.nextFrag != f.Frag {
+		delete(r.partials, f.Addr2)
+		return nil
+	}
+	p.body = append(p.body, f.Body...)
+	p.nextFrag++
+	if f.MoreFrag {
+		return nil
+	}
+	delete(r.partials, f.Addr2)
+	out := *p.first
+	out.Body = p.body
+	out.MoreFrag = false
+	return &out
+}

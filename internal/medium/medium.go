@@ -1,0 +1,233 @@
+// Package medium implements the shared wireless channel: it connects radios
+// through a propagation model, tracks every in-flight transmission, computes
+// piecewise SINR at each receiver, applies the PHY error model and capture
+// rules, and drives the carrier-sense (CCA) signals the MAC listens to.
+//
+// The medium is the substitute for over-the-air hardware: a MAC attached to
+// a Radio observes exactly the signals a driver sees — CCA busy/idle edges,
+// decoded frames with RSSI/SINR metadata, FCS errors and TX completions.
+package medium
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/phy"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// RxInfo carries reception metadata to the MAC, mirroring what a driver
+// reads from its RX descriptor.
+type RxInfo struct {
+	RSSI    units.DBm
+	MinSINR units.DB // worst SINR over the frame
+	Rate    phy.RateIdx
+	Mode    *phy.Mode
+	Airtime sim.Duration
+	End     sim.Time // when the frame ended on air at the receiver
+}
+
+// Listener is the upward interface of a radio; the MAC implements it.
+type Listener interface {
+	// OnCCABusy fires when carrier sense transitions idle→busy.
+	OnCCABusy()
+	// OnCCAIdle fires when carrier sense transitions busy→idle.
+	OnCCAIdle()
+	// OnRxFrame delivers a successfully decoded frame.
+	OnRxFrame(f *frame.Frame, info RxInfo)
+	// OnRxError reports a locked frame that failed its FCS.
+	OnRxError(info RxInfo)
+	// OnTxDone reports the end of this radio's own transmission.
+	OnTxDone()
+}
+
+// NopListener discards all radio events; useful for passive nodes and tests.
+type NopListener struct{}
+
+func (NopListener) OnCCABusy()                     {}
+func (NopListener) OnCCAIdle()                     {}
+func (NopListener) OnRxFrame(*frame.Frame, RxInfo) {}
+func (NopListener) OnRxError(RxInfo)               {}
+func (NopListener) OnTxDone()                      {}
+
+// transmission is one MPDU on the air.
+type transmission struct {
+	id      uint64
+	tx      *Radio
+	mode    *phy.Mode
+	rate    phy.RateIdx
+	channel int
+	wire    []byte
+	bits    int
+	start   sim.Time
+	airtime sim.Duration
+	txPos   geom.Point
+}
+
+// Medium couples radios to the propagation model.
+type Medium struct {
+	kernel *sim.Kernel
+	model  *spectrum.Model
+	radios []*Radio
+	nextTx uint64
+
+	// PropagationDelay enables distance/c arrival delays (default true).
+	PropagationDelay bool
+	// DetectionMarginDB sets how far below a receiver's noise floor an
+	// arrival may be and still be tracked as interference energy.
+	DetectionMarginDB float64
+	// Tracer receives frame-level events; nil disables tracing.
+	Tracer trace.Tracer
+
+	rng *rng.Source
+
+	// Counters for diagnostics.
+	Transmissions uint64
+}
+
+// New creates an empty medium on the kernel with the given channel model.
+func New(k *sim.Kernel, model *spectrum.Model, src *rng.Source) *Medium {
+	return &Medium{
+		kernel:            k,
+		model:             model,
+		PropagationDelay:  true,
+		DetectionMarginDB: 10,
+		rng:               src.Split("medium"),
+	}
+}
+
+// Kernel returns the simulation kernel the medium schedules on.
+func (m *Medium) Kernel() *sim.Kernel { return m.kernel }
+
+// Model returns the propagation model (for experiments that inspect it).
+func (m *Medium) Model() *spectrum.Model { return m.model }
+
+// RadioConfig parameterises a new radio.
+type RadioConfig struct {
+	Name     string
+	Mode     *phy.Mode
+	Channel  int
+	Mobility geom.Mobility
+	TxPower  units.DBm
+	// NoiseFigure defaults to 7 dB when zero.
+	NoiseFigure units.DB
+	// CSThreshold is the energy-detect busy threshold; defaults to -82 dBm.
+	CSThreshold units.DBm
+	// CaptureMargin is the power advantage a later frame needs to steal the
+	// receiver lock. Zero disables capture unless CaptureEnabled is set
+	// with the default 10 dB margin.
+	CaptureMargin  units.DB
+	CaptureEnabled bool
+	Listener       Listener
+}
+
+// AddRadio registers a radio on the medium.
+func (m *Medium) AddRadio(cfg RadioConfig) *Radio {
+	if cfg.Mode == nil {
+		panic("medium: radio needs a PHY mode")
+	}
+	if cfg.Mobility == nil {
+		cfg.Mobility = geom.Static{}
+	}
+	if cfg.NoiseFigure == 0 {
+		cfg.NoiseFigure = 7
+	}
+	if cfg.CSThreshold == 0 {
+		cfg.CSThreshold = -82
+	}
+	if cfg.CaptureEnabled && cfg.CaptureMargin == 0 {
+		cfg.CaptureMargin = 10
+	}
+	if cfg.Listener == nil {
+		cfg.Listener = NopListener{}
+	}
+	r := &Radio{
+		medium:     m,
+		id:         len(m.radios),
+		name:       cfg.Name,
+		mode:       cfg.Mode,
+		channel:    cfg.Channel,
+		mobility:   cfg.Mobility,
+		txPower:    cfg.TxPower,
+		noiseFloor: cfg.Mode.NoiseFloorDBm(cfg.NoiseFigure),
+		csThresh:   cfg.CSThreshold,
+		capture:    cfg.CaptureEnabled,
+		capMargin:  cfg.CaptureMargin,
+		listener:   cfg.Listener,
+		rng:        m.rng.Split("radio:" + cfg.Name),
+	}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// Radios returns all registered radios.
+func (m *Medium) Radios() []*Radio { return m.radios }
+
+// transmit puts a wire image on the air from radio r.
+func (m *Medium) transmit(r *Radio, f *frame.Frame, rate phy.RateIdx) sim.Duration {
+	wire := f.Marshal()
+	airtime := r.mode.Airtime(rate, len(wire))
+	m.nextTx++
+	m.Transmissions++
+	t := &transmission{
+		id:      m.nextTx,
+		tx:      r,
+		mode:    r.mode,
+		rate:    rate,
+		channel: r.channel,
+		wire:    wire,
+		bits:    len(wire) * 8,
+		start:   m.kernel.Now(),
+		airtime: airtime,
+		txPos:   r.mobility.PositionAt(m.kernel.Now()),
+	}
+	if m.Tracer != nil {
+		m.Tracer.Trace(trace.Event{
+			At: t.start, Node: r.name, Kind: trace.KindTx, Frame: f,
+			Detail: fmt.Sprintf("rate=%v airtime=%v", r.mode.Rate(rate), airtime),
+		})
+	}
+
+	// Deliver arrival start/end events to every other radio on the channel.
+	for _, rx := range m.radios {
+		if rx == r || rx.channel != r.channel {
+			continue
+		}
+		rxPos := rx.mobility.PositionAt(t.start)
+		linkID := uint64(r.id)<<20 | uint64(rx.id)
+		power := m.model.RxPower(r.txPower, t.txPos, rxPos, linkID, t.start)
+		// Ignore arrivals far below the receiver's noise floor: they are
+		// irrelevant both as signal and as interference.
+		if float64(power) < float64(rx.noiseFloor)-m.DetectionMarginDB {
+			continue
+		}
+		var delay sim.Duration
+		if m.PropagationDelay {
+			d := t.txPos.Distance(rxPos)
+			delay = sim.Duration(d / units.SpeedOfLight * float64(sim.Second))
+		}
+		rx := rx
+		arr := &arrival{t: t, power: power}
+		m.kernel.Schedule(delay, "rx-start:"+rx.name, func() { rx.arrivalStart(arr) })
+		m.kernel.Schedule(delay+airtime, "rx-end:"+rx.name, func() { rx.arrivalEnd(arr) })
+	}
+	return airtime
+}
+
+func (m *Medium) String() string {
+	return fmt.Sprintf("medium(%d radios, %d tx)", len(m.radios), m.Transmissions)
+}
+
+// linearOrZero converts dBm to mW treating -Inf as zero.
+func linearOrZero(p units.DBm) float64 {
+	if math.IsInf(float64(p), -1) {
+		return 0
+	}
+	return p.MilliWatt()
+}

@@ -1,0 +1,71 @@
+package net80211
+
+import (
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/medium"
+	"repro/internal/sim"
+)
+
+// Adhoc is an IBSS (independent BSS) node: stations exchange data frames
+// directly with ToDS = FromDS = 0 and a shared, locally administered BSSID.
+// There is no association machinery; the experiments use it for mesh-style
+// topologies.
+type Adhoc struct {
+	k     *sim.Kernel
+	dcf   *mac.DCF
+	bssid frame.MACAddr
+
+	// OnReceive delivers application payloads.
+	OnReceive DeliveryFunc
+
+	TxPayloads uint64
+	RxPayloads uint64
+}
+
+// NewAdhoc joins a node to the IBSS identified by bssid (all members must
+// share it).
+func NewAdhoc(k *sim.Kernel, dcf *mac.DCF, bssid frame.MACAddr) *Adhoc {
+	a := &Adhoc{k: k, dcf: dcf, bssid: bssid}
+	dcf.SetReceiver(a.receive)
+	return a
+}
+
+// IBSSID returns a conventional locally administered BSSID for tests and
+// examples that need a shared one.
+func IBSSID() frame.MACAddr { return frame.MACAddr{0x02, 0xad, 0x0c, 0, 0, 0x01} }
+
+// Address returns the node's MAC address.
+func (a *Adhoc) Address() frame.MACAddr { return a.dcf.Address() }
+
+// MAC exposes the underlying DCF.
+func (a *Adhoc) MAC() *mac.DCF { return a.dcf }
+
+// Send transmits an application payload directly to dst (or broadcast).
+func (a *Adhoc) Send(dst frame.MACAddr, payload []byte) bool {
+	body := frame.EncapSNAP(EtherTypePayload, payload)
+	f := frame.NewData(dst, a.Address(), a.bssid, false, false, body)
+	if !a.dcf.Enqueue(f) {
+		return false
+	}
+	a.TxPayloads++
+	return true
+}
+
+// receive handles frames from the MAC.
+func (a *Adhoc) receive(f *frame.Frame, _ medium.RxInfo) {
+	if f.Type != frame.TypeData {
+		return
+	}
+	if f.ToDS || f.FromDS || f.BSSID() != a.bssid {
+		return
+	}
+	et, payload, err := frame.DecapSNAP(f.Body)
+	if err != nil || et != EtherTypePayload {
+		return
+	}
+	a.RxPayloads++
+	if a.OnReceive != nil {
+		a.OnReceive(f.SA(), f.DA(), payload)
+	}
+}

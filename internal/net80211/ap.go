@@ -1,0 +1,523 @@
+// Package net80211 is the management plane above the MAC: access points
+// (beaconing, authentication, association, intra-BSS bridging, power-save
+// buffering), stations (scanning, join state machine, roaming with
+// hysteresis, PS-Poll sleep cycles) and ad-hoc IBSS nodes. It corresponds
+// to the SME/MLME layer a driver stack implements above mac80211.
+package net80211
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/medium"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wep"
+)
+
+// TU is the 802.11 time unit used for beacon intervals.
+const TU = 1024 * sim.Microsecond
+
+// EtherTypePayload is the LLC/SNAP ethertype used for application payloads.
+const EtherTypePayload = 0x0800
+
+// DeliveryFunc receives application payloads: src/dst are the original
+// end-to-end addresses.
+type DeliveryFunc func(src, dst frame.MACAddr, payload []byte)
+
+// APConfig parameterises an access point.
+type APConfig struct {
+	SSID string
+	// BeaconInterval defaults to 100 TU.
+	BeaconInterval sim.Duration
+	// DTIMPeriod defaults to 1 (every beacon is a DTIM).
+	DTIMPeriod int
+	// WEPKey enables privacy: shared-key authentication and WEP-sealed
+	// data bodies.
+	WEPKey wep.Key
+	// PSBufferCap bounds the per-station power-save buffer (default 32).
+	PSBufferCap int
+}
+
+// staEntry is the AP's per-station state.
+type staEntry struct {
+	addr   frame.MACAddr
+	aid    uint16
+	authed bool
+	assoc  bool
+	ps     bool
+	psBuf  []*frame.Frame
+	// challenge is the outstanding shared-key auth challenge.
+	challenge []byte
+}
+
+// APStats counts management-plane activity.
+type APStats struct {
+	BeaconsSent   uint64
+	AuthOK        uint64
+	AuthFail      uint64
+	Assocs        uint64
+	Relayed       uint64 // STA→STA frames bridged inside the BSS
+	ToDS          uint64 // frames forwarded to the wired DS
+	FromDS        uint64 // frames delivered from the wired DS
+	PSBuffered    uint64
+	PSDelivered   uint64
+	PSDropped     uint64
+	DecryptErrors uint64
+}
+
+// AP is an access point: one DCF below, beacon scheduler and association
+// table above, optional wired DS port behind.
+type AP struct {
+	k    *sim.Kernel
+	dcf  *mac.DCF
+	cfg  APConfig
+	ssid string
+
+	stations map[frame.MACAddr]*staEntry
+	byAID    map[uint16]*staEntry
+	nextAID  uint16
+
+	port *ether.Port
+
+	dtimCount int
+	ivs       wep.IVCounter
+
+	// OnDeliver receives payloads addressed to the AP itself (or group).
+	OnDeliver DeliveryFunc
+	Tracer    trace.Tracer
+	Stats     APStats
+
+	stopBeacons func()
+}
+
+// NewAP builds an access point on an existing DCF (whose address becomes
+// the BSSID) and starts beaconing.
+func NewAP(k *sim.Kernel, dcf *mac.DCF, cfg APConfig) *AP {
+	if cfg.BeaconInterval == 0 {
+		cfg.BeaconInterval = 100 * TU
+	}
+	if cfg.DTIMPeriod == 0 {
+		cfg.DTIMPeriod = 1
+	}
+	if cfg.PSBufferCap == 0 {
+		cfg.PSBufferCap = 32
+	}
+	ap := &AP{
+		k:        k,
+		dcf:      dcf,
+		cfg:      cfg,
+		ssid:     cfg.SSID,
+		stations: make(map[frame.MACAddr]*staEntry),
+		byAID:    make(map[uint16]*staEntry),
+		Tracer:   trace.Nop{},
+	}
+	dcf.SetReceiver(ap.receive)
+	// Stagger the beacon phase per BSSID: co-located APs with synchronized
+	// tickers would collide their beacons every interval, which real APs
+	// avoid by having independent TSF start times.
+	offset := sim.Duration(uint64(cfg.BeaconInterval) * (uint64(ap.BSSID()[5]) * 149 % 256) / 256)
+	var stopped bool
+	var stopTicker func()
+	k.Schedule(offset, "beacon-start:"+cfg.SSID, func() {
+		if stopped {
+			return
+		}
+		ap.sendBeacon()
+		stopTicker = k.Ticker(cfg.BeaconInterval, "beacon:"+cfg.SSID, ap.sendBeacon)
+	})
+	ap.stopBeacons = func() {
+		stopped = true
+		if stopTicker != nil {
+			stopTicker()
+		}
+	}
+	return ap
+}
+
+// BSSID returns the AP's MAC address.
+func (ap *AP) BSSID() frame.MACAddr { return ap.dcf.Address() }
+
+// Stop halts beaconing.
+func (ap *AP) Stop() { ap.stopBeacons() }
+
+// MAC exposes the underlying DCF (for stats in experiments).
+func (ap *AP) MAC() *mac.DCF { return ap.dcf }
+
+// AttachDS connects the AP to a wired distribution system switch.
+func (ap *AP) AttachDS(sw *ether.Switch) {
+	ap.port = sw.AddPort(ap.fromDS)
+}
+
+// Associated reports whether addr is an associated station.
+func (ap *AP) Associated(addr frame.MACAddr) bool {
+	e := ap.stations[addr]
+	return e != nil && e.assoc
+}
+
+// AssociatedCount returns the number of associated stations.
+func (ap *AP) AssociatedCount() int {
+	n := 0
+	for _, e := range ap.stations {
+		if e.assoc {
+			n++
+		}
+	}
+	return n
+}
+
+func (ap *AP) privacy() bool { return len(ap.cfg.WEPKey) > 0 }
+
+// sendBeacon enqueues the periodic beacon with the current TIM.
+func (ap *AP) sendBeacon() {
+	ap.dtimCount--
+	if ap.dtimCount < 0 {
+		ap.dtimCount = ap.cfg.DTIMPeriod - 1
+	}
+	tim := &frame.TIM{
+		DTIMCount:  uint8(ap.dtimCount),
+		DTIMPeriod: uint8(ap.cfg.DTIMPeriod),
+	}
+	for _, e := range ap.stations {
+		if e.assoc && e.ps && len(e.psBuf) > 0 {
+			tim.AIDs = append(tim.AIDs, e.aid)
+		}
+	}
+	cap := uint16(frame.CapESS)
+	if ap.privacy() {
+		cap |= frame.CapPrivacy
+	}
+	b := &frame.Beacon{
+		Timestamp:  uint64(ap.k.Now() / 1000),
+		IntervalTU: uint16(ap.cfg.BeaconInterval / TU),
+		Capability: cap,
+		SSID:       ap.ssid,
+		Rates:      ap.rateIE(),
+		Channel:    uint8(ap.channel()),
+		TIM:        tim,
+	}
+	f := frame.NewMgmt(frame.SubtypeBeacon, frame.Broadcast, ap.BSSID(), ap.BSSID(), frame.MarshalBeacon(b))
+	if ap.dcf.Enqueue(f) {
+		ap.Stats.BeaconsSent++
+	}
+}
+
+func (ap *AP) rateIE() []byte {
+	m := ap.dcf.Mode()
+	var out []byte
+	for i := 0; i < m.NumRates() && i < 8; i++ {
+		r := m.Rate(phy.RateIdx(i))
+		out = append(out, frame.RateByte(int(float64(r.BitRate)/500e3), r.Basic))
+	}
+	return out
+}
+
+func (ap *AP) channel() int { return ap.dcf.Radio().Channel() }
+
+// Send transmits an application payload from the AP itself to a station in
+// the BSS (or broadcast). It returns false when the target is unknown or
+// the queue is full.
+func (ap *AP) Send(dst frame.MACAddr, payload []byte) bool {
+	if dst.IsGroup() {
+		return ap.queueFromDS(dst, ap.BSSID(), payload)
+	}
+	e := ap.stations[dst]
+	if e == nil || !e.assoc {
+		return false
+	}
+	return ap.queueFromDS(dst, ap.BSSID(), payload)
+}
+
+// queueFromDS builds a FromDS data frame (buffering for PS stations).
+func (ap *AP) queueFromDS(dst, src frame.MACAddr, payload []byte) bool {
+	body := frame.EncapSNAP(EtherTypePayload, payload)
+	f := frame.NewData(dst, ap.BSSID(), src, false, true, body)
+	if ap.privacy() {
+		sealed, err := wep.Seal(ap.cfg.WEPKey, ap.ivs.Next(), 0, body)
+		if err != nil {
+			return false
+		}
+		f.Body = sealed
+		f.Protected = true
+	}
+	if e := ap.stations[dst]; e != nil && e.ps {
+		if len(e.psBuf) >= ap.cfg.PSBufferCap {
+			ap.Stats.PSDropped++
+			return false
+		}
+		e.psBuf = append(e.psBuf, f)
+		ap.Stats.PSBuffered++
+		return true
+	}
+	return ap.dcf.Enqueue(f)
+}
+
+// receive handles every frame the MAC delivers.
+func (ap *AP) receive(f *frame.Frame, info medium.RxInfo) {
+	switch f.Type {
+	case frame.TypeManagement:
+		ap.handleMgmt(f, info)
+	case frame.TypeData:
+		ap.handleData(f)
+	case frame.TypeControl:
+		if f.Subtype == frame.SubtypePSPoll {
+			ap.handlePSPoll(f)
+		}
+	}
+}
+
+func (ap *AP) handleMgmt(f *frame.Frame, _ medium.RxInfo) {
+	switch f.Subtype {
+	case frame.SubtypeProbeReq:
+		ap.handleProbe(f)
+	case frame.SubtypeAuth:
+		ap.handleAuth(f)
+	case frame.SubtypeAssocReq, frame.SubtypeReassocReq:
+		ap.handleAssoc(f)
+	case frame.SubtypeDisassoc, frame.SubtypeDeauth:
+		if e := ap.stations[f.Addr2]; e != nil {
+			e.assoc = false
+			e.authed = false
+			delete(ap.byAID, e.aid)
+		}
+	}
+}
+
+func (ap *AP) handleProbe(f *frame.Frame) {
+	// A probe request body is a bare IE list; respond to wildcard probes
+	// and to probes naming our SSID.
+	if ies, err := frame.ParseIEs(f.Body); err == nil {
+		if ssid := frame.FindIE(ies, frame.IESSID); ssid != nil && len(ssid.Data) > 0 && string(ssid.Data) != ap.ssid {
+			return
+		}
+	}
+	capBits := uint16(frame.CapESS)
+	if ap.privacy() {
+		capBits |= frame.CapPrivacy
+	}
+	resp := &frame.Beacon{
+		Timestamp:  uint64(ap.k.Now() / 1000),
+		IntervalTU: uint16(ap.cfg.BeaconInterval / TU),
+		Capability: capBits,
+		SSID:       ap.ssid,
+		Rates:      ap.rateIE(),
+		Channel:    uint8(ap.channel()),
+	}
+	out := frame.NewMgmt(frame.SubtypeProbeResp, f.Addr2, ap.BSSID(), ap.BSSID(), frame.MarshalBeacon(resp))
+	ap.dcf.Enqueue(out)
+}
+
+func (ap *AP) entry(addr frame.MACAddr) *staEntry {
+	e := ap.stations[addr]
+	if e == nil {
+		e = &staEntry{addr: addr}
+		ap.stations[addr] = e
+	}
+	return e
+}
+
+func (ap *AP) handleAuth(f *frame.Frame) {
+	e := ap.entry(f.Addr2)
+	reply := func(algo, seq, status uint16, challenge []byte) {
+		out := frame.NewMgmt(frame.SubtypeAuth, f.Addr2, ap.BSSID(), ap.BSSID(),
+			frame.MarshalAuth(&frame.Auth{Algorithm: algo, SeqNum: seq, Status: status, Challenge: challenge}))
+		ap.dcf.Enqueue(out)
+	}
+	// Shared-key sequence 3 arrives WEP-sealed: decrypt before parsing.
+	body := f.Body
+	if f.Protected {
+		if !ap.privacy() {
+			return
+		}
+		plain, err := wep.Open(ap.cfg.WEPKey, body)
+		if err != nil {
+			// Wrong key: the challenge response is unreadable.
+			ap.Stats.AuthFail++
+			ap.Stats.DecryptErrors++
+			e.challenge = nil
+			reply(frame.AuthAlgoSharedKey, 4, frame.StatusChallengeFail, nil)
+			return
+		}
+		body = plain
+	}
+	a, err := frame.ParseAuth(body)
+	if err != nil {
+		return
+	}
+	switch {
+	case a.Algorithm == frame.AuthAlgoOpen && a.SeqNum == 1:
+		if ap.privacy() {
+			// Privacy BSS refuses open auth (strict-WEP policy).
+			ap.Stats.AuthFail++
+			reply(a.Algorithm, 2, frame.StatusAuthAlgoUnsupp, nil)
+			return
+		}
+		e.authed = true
+		ap.Stats.AuthOK++
+		reply(a.Algorithm, 2, frame.StatusSuccess, nil)
+	case a.Algorithm == frame.AuthAlgoSharedKey && a.SeqNum == 1:
+		if !ap.privacy() {
+			ap.Stats.AuthFail++
+			reply(a.Algorithm, 2, frame.StatusAuthAlgoUnsupp, nil)
+			return
+		}
+		// Issue a deterministic 128-byte challenge.
+		ch := make([]byte, 128)
+		for i := range ch {
+			ch[i] = byte(i) ^ f.Addr2[5]
+		}
+		e.challenge = ch
+		reply(a.Algorithm, 2, frame.StatusSuccess, ch)
+	case a.Algorithm == frame.AuthAlgoSharedKey && a.SeqNum == 3:
+		if e.challenge == nil || !f.Protected ||
+			string(a.Challenge) != string(e.challenge) {
+			ap.Stats.AuthFail++
+			e.challenge = nil
+			reply(a.Algorithm, 4, frame.StatusChallengeFail, nil)
+			return
+		}
+		e.authed = true
+		e.challenge = nil
+		ap.Stats.AuthOK++
+		reply(a.Algorithm, 4, frame.StatusSuccess, nil)
+	}
+}
+
+func (ap *AP) handleAssoc(f *frame.Frame) {
+	req, err := frame.ParseAssocReq(f.Body)
+	if err != nil || req.SSID != ap.ssid {
+		return
+	}
+	e := ap.entry(f.Addr2)
+	status := uint16(frame.StatusSuccess)
+	if !e.authed {
+		status = frame.StatusUnspecified
+	}
+	if status == frame.StatusSuccess && !e.assoc {
+		ap.nextAID++
+		e.aid = ap.nextAID
+		e.assoc = true
+		ap.byAID[e.aid] = e
+		ap.Stats.Assocs++
+		if ap.port != nil {
+			// Announce the station on the wire so the switch learns it here.
+			ap.port.Send(ether.Frame{Dst: frame.Broadcast, Src: f.Addr2, Payload: nil})
+		}
+	}
+	resp := frame.NewMgmt(frame.SubtypeAssocResp, f.Addr2, ap.BSSID(), ap.BSSID(),
+		frame.MarshalAssocResp(&frame.AssocResp{
+			Capability: frame.CapESS, Status: status, AID: e.aid, Rates: ap.rateIE(),
+		}))
+	ap.dcf.Enqueue(resp)
+	ap.Tracer.Trace(trace.Event{At: ap.k.Now(), Node: ap.ssid, Kind: trace.KindMgmt,
+		Detail: fmt.Sprintf("assoc %v aid=%d status=%d", f.Addr2, e.aid, status)})
+}
+
+func (ap *AP) handleData(f *frame.Frame) {
+	e := ap.stations[f.Addr2]
+	if e == nil || !e.assoc {
+		return // not in our BSS
+	}
+	// Track power management transitions.
+	ap.setPS(e, f.PwrMgmt)
+	if f.Subtype == frame.SubtypeNullData {
+		return
+	}
+	if !f.ToDS {
+		return
+	}
+	body := f.Body
+	if f.Protected {
+		if !ap.privacy() {
+			return
+		}
+		plain, err := wep.Open(ap.cfg.WEPKey, body)
+		if err != nil {
+			ap.Stats.DecryptErrors++
+			return
+		}
+		body = plain
+	}
+	et, payload, err := frame.DecapSNAP(body)
+	if err != nil || et != EtherTypePayload {
+		return
+	}
+	src, dst := f.SA(), f.DA()
+	switch {
+	case dst == ap.BSSID():
+		if ap.OnDeliver != nil {
+			ap.OnDeliver(src, dst, payload)
+		}
+	case dst.IsGroup():
+		// Deliver locally, rebroadcast into the BSS, and flood the DS.
+		if ap.OnDeliver != nil {
+			ap.OnDeliver(src, dst, payload)
+		}
+		ap.queueFromDS(dst, src, payload)
+		if ap.port != nil {
+			ap.Stats.ToDS++
+			ap.port.Send(ether.Frame{Dst: dst, Src: src, Payload: payload})
+		}
+	case ap.Associated(dst):
+		ap.Stats.Relayed++
+		ap.queueFromDS(dst, src, payload)
+	case ap.port != nil:
+		ap.Stats.ToDS++
+		ap.port.Send(ether.Frame{Dst: dst, Src: src, Payload: payload})
+	}
+}
+
+// setPS updates a station's power-save state; leaving PS flushes the buffer.
+func (ap *AP) setPS(e *staEntry, ps bool) {
+	if e.ps == ps {
+		return
+	}
+	e.ps = ps
+	ap.Tracer.Trace(trace.Event{At: ap.k.Now(), Node: ap.ssid, Kind: trace.KindPS,
+		Detail: fmt.Sprintf("%v ps=%v", e.addr, ps)})
+	if !ps {
+		for _, f := range e.psBuf {
+			ap.dcf.Enqueue(f)
+			ap.Stats.PSDelivered++
+		}
+		e.psBuf = nil
+	}
+}
+
+func (ap *AP) handlePSPoll(f *frame.Frame) {
+	aid := f.Duration & 0x3fff
+	e := ap.byAID[aid]
+	if e == nil || e.addr != f.Addr2 {
+		return
+	}
+	if len(e.psBuf) == 0 {
+		return
+	}
+	out := e.psBuf[0]
+	e.psBuf = e.psBuf[1:]
+	out.MoreData = len(e.psBuf) > 0
+	ap.Stats.PSDelivered++
+	ap.dcf.Enqueue(out)
+}
+
+// fromDS handles frames arriving from the wired side.
+func (ap *AP) fromDS(ef ether.Frame) {
+	if ef.Payload == nil {
+		return // learning announcement
+	}
+	switch {
+	case ef.Dst == ap.BSSID():
+		if ap.OnDeliver != nil {
+			ap.OnDeliver(ef.Src, ef.Dst, ef.Payload)
+		}
+	case ef.Dst.IsGroup():
+		ap.Stats.FromDS++
+		ap.queueFromDS(ef.Dst, ef.Src, ef.Payload)
+	case ap.Associated(ef.Dst):
+		ap.Stats.FromDS++
+		ap.queueFromDS(ef.Dst, ef.Src, ef.Payload)
+	}
+}

@@ -1,0 +1,627 @@
+package net80211
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/medium"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/wep"
+)
+
+// STAConfig parameterises a station.
+type STAConfig struct {
+	SSID string
+	// Channels is the scan list; default {1}.
+	Channels []int
+	// ScanDwell is the passive dwell per channel; default 120 ms (just
+	// over one beacon interval).
+	ScanDwell sim.Duration
+	// WEPKey enables shared-key authentication and WEP data privacy.
+	WEPKey wep.Key
+	// RoamThreshold: when the serving AP's smoothed beacon RSSI falls
+	// below this level the station rescans. Default -75 dBm.
+	RoamThreshold units.DBm
+	// RoamHysteresis: a candidate must beat the serving AP by this margin.
+	// Default 6 dB.
+	RoamHysteresis units.DB
+	// BeaconMissLimit: consecutive missed beacons before the link is
+	// declared lost. Default 8.
+	BeaconMissLimit int
+	// PowerSave enables the PS-Poll doze cycle.
+	PowerSave bool
+	// ActiveScan sends probe requests on each channel instead of waiting a
+	// full beacon interval, shrinking the dwell to ProbeDwell.
+	ActiveScan bool
+	// ProbeDwell is the per-channel wait after a probe request (default
+	// 30 ms).
+	ProbeDwell sim.Duration
+}
+
+// staState is the join state machine.
+type staState uint8
+
+// States.
+const (
+	staIdle staState = iota
+	staScanning
+	staAuthenticating
+	staAssociating
+	staAssociated
+)
+
+func (s staState) String() string {
+	switch s {
+	case staIdle:
+		return "idle"
+	case staScanning:
+		return "scanning"
+	case staAuthenticating:
+		return "authenticating"
+	case staAssociating:
+		return "associating"
+	case staAssociated:
+		return "associated"
+	}
+	return "?"
+}
+
+// candidate is a BSS discovered by scanning.
+type candidate struct {
+	bssid    frame.MACAddr
+	ssid     string
+	channel  int
+	rssi     float64 // EWMA dBm
+	lastSeen sim.Time
+	privacy  bool
+}
+
+// STAStats counts station activity.
+type STAStats struct {
+	Scans        uint64
+	BeaconsSeen  uint64
+	AuthAttempts uint64
+	Associations uint64
+	Roams        uint64
+	LinkLosses   uint64
+	PSPollsSent  uint64
+	TxPayloads   uint64
+	RxPayloads   uint64
+}
+
+// STA is a station: scanning, join state machine, roaming and power save
+// above one DCF.
+type STA struct {
+	k   *sim.Kernel
+	dcf *mac.DCF
+	cfg STAConfig
+
+	state    staState
+	cands    map[frame.MACAddr]*candidate
+	bssid    frame.MACAddr
+	aid      uint16
+	servRSSI float64 // EWMA of serving AP beacon RSSI
+	missed   int
+
+	scanIdx   int
+	homeCh    int
+	mgmtTimer *sim.Event
+	mgmtTries int
+
+	ivs    wep.IVCounter
+	psWake *sim.Event // pending pre-beacon wakeup
+	// beaconInt is the serving AP's beacon interval, learned from beacons.
+	beaconInt sim.Duration
+	// psAwaitSeq tokens the outstanding PS-Poll data wait: the station
+	// must not doze between PS-Poll and the buffered frame's arrival.
+	psAwaitSeq  uint64
+	psAwaitData bool
+
+	// OnReceive delivers application payloads.
+	OnReceive DeliveryFunc
+	// OnAssociated fires after every successful (re)association.
+	OnAssociated func(bssid frame.MACAddr)
+	Tracer       trace.Tracer
+	Stats        STAStats
+}
+
+// NewSTA builds a station on an existing DCF and starts scanning.
+func NewSTA(k *sim.Kernel, dcf *mac.DCF, cfg STAConfig) *STA {
+	if len(cfg.Channels) == 0 {
+		cfg.Channels = []int{dcf.Radio().Channel()}
+	}
+	if cfg.ScanDwell == 0 {
+		cfg.ScanDwell = 120 * sim.Millisecond
+	}
+	if cfg.RoamThreshold == 0 {
+		cfg.RoamThreshold = -75
+	}
+	if cfg.RoamHysteresis == 0 {
+		cfg.RoamHysteresis = 6
+	}
+	if cfg.BeaconMissLimit == 0 {
+		cfg.BeaconMissLimit = 8
+	}
+	if cfg.ProbeDwell == 0 {
+		cfg.ProbeDwell = 30 * sim.Millisecond
+	}
+	s := &STA{
+		k:         k,
+		dcf:       dcf,
+		cfg:       cfg,
+		cands:     make(map[frame.MACAddr]*candidate),
+		beaconInt: 100 * TU,
+		Tracer:    trace.Nop{},
+	}
+	dcf.SetReceiver(s.receive)
+	k.Schedule(0, "sta-start", s.startScan)
+	return s
+}
+
+// Address returns the station MAC address.
+func (s *STA) Address() frame.MACAddr { return s.dcf.Address() }
+
+// MAC exposes the underlying DCF.
+func (s *STA) MAC() *mac.DCF { return s.dcf }
+
+// Associated reports whether the station is associated.
+func (s *STA) Associated() bool { return s.state == staAssociated }
+
+// BSSID returns the serving AP address (zero when unassociated).
+func (s *STA) BSSID() frame.MACAddr { return s.bssid }
+
+func (s *STA) privacy() bool { return len(s.cfg.WEPKey) > 0 }
+
+// Send transmits an application payload to dst through the serving AP. It
+// returns false when unassociated or the queue is full.
+func (s *STA) Send(dst frame.MACAddr, payload []byte) bool {
+	if s.state != staAssociated {
+		return false
+	}
+	s.wakeForTraffic()
+	body := frame.EncapSNAP(EtherTypePayload, payload)
+	f := frame.NewData(s.bssid, s.Address(), dst, true, false, body)
+	if s.privacy() {
+		sealed, err := wep.Seal(s.cfg.WEPKey, s.ivs.Next(), 0, body)
+		if err != nil {
+			return false
+		}
+		f.Body = sealed
+		f.Protected = true
+	}
+	f.PwrMgmt = s.cfg.PowerSave
+	if !s.dcf.Enqueue(f) {
+		return false
+	}
+	s.Stats.TxPayloads++
+	return true
+}
+
+// --- scanning -------------------------------------------------------------
+
+func (s *STA) startScan() {
+	if s.dcf.Radio().Transmitting() {
+		s.k.Schedule(5*sim.Millisecond, "scan-retry", s.startScan)
+		return
+	}
+	s.state = staScanning
+	s.Stats.Scans++
+	s.scanIdx = 0
+	s.cands = make(map[frame.MACAddr]*candidate)
+	if s.dcf.Radio().Asleep() {
+		s.dcf.Radio().Wake()
+	}
+	s.scanStep()
+}
+
+func (s *STA) scanStep() {
+	if s.state != staScanning {
+		return
+	}
+	if s.scanIdx >= len(s.cfg.Channels) {
+		s.finishScan()
+		return
+	}
+	ch := s.cfg.Channels[s.scanIdx]
+	s.scanIdx++
+	if s.dcf.Radio().Transmitting() {
+		s.scanIdx-- // retry the same channel shortly
+		s.k.Schedule(2*sim.Millisecond, "scan-wait", s.scanStep)
+		return
+	}
+	s.dcf.Radio().SetChannel(ch)
+	dwell := s.cfg.ScanDwell
+	if s.cfg.ActiveScan {
+		s.sendProbeReq()
+		dwell = s.cfg.ProbeDwell
+	}
+	s.k.Schedule(dwell, "scan-dwell", s.scanStep)
+}
+
+// sendProbeReq broadcasts a directed probe request on the current channel.
+func (s *STA) sendProbeReq() {
+	body := frame.MarshalIEs([]frame.IE{
+		{ID: frame.IESSID, Data: []byte(s.cfg.SSID)},
+		{ID: frame.IESupportedRates, Data: []byte{frame.RateByte(2, true)}},
+	})
+	f := frame.NewMgmt(frame.SubtypeProbeReq, frame.Broadcast, s.Address(), frame.Broadcast, body)
+	s.dcf.Enqueue(f)
+}
+
+func (s *STA) finishScan() {
+	best := s.bestCandidate()
+	if best == nil {
+		// Nothing found: rescan after a backoff.
+		s.k.Schedule(200*sim.Millisecond, "rescan", s.startScan)
+		return
+	}
+	s.join(best)
+}
+
+func (s *STA) bestCandidate() *candidate {
+	var best *candidate
+	for _, c := range s.cands {
+		if c.ssid != s.cfg.SSID {
+			continue
+		}
+		if best == nil || c.rssi > best.rssi {
+			best = c
+		}
+	}
+	return best
+}
+
+// --- join state machine -----------------------------------------------------
+
+func (s *STA) join(c *candidate) {
+	if s.dcf.Radio().Transmitting() {
+		s.k.Schedule(2*sim.Millisecond, "join-wait", func() { s.join(c) })
+		return
+	}
+	s.state = staAuthenticating
+	s.bssid = c.bssid
+	s.homeCh = c.channel
+	s.servRSSI = c.rssi
+	s.missed = 0
+	s.dcf.Radio().SetChannel(c.channel)
+	s.mgmtTries = 0
+	s.sendAuth1()
+}
+
+func (s *STA) sendAuth1() {
+	s.Stats.AuthAttempts++
+	algo := uint16(frame.AuthAlgoOpen)
+	if s.privacy() {
+		algo = frame.AuthAlgoSharedKey
+	}
+	f := frame.NewMgmt(frame.SubtypeAuth, s.bssid, s.Address(), s.bssid,
+		frame.MarshalAuth(&frame.Auth{Algorithm: algo, SeqNum: 1}))
+	s.dcf.Enqueue(f)
+	s.armMgmtTimer(s.sendAuth1)
+}
+
+func (s *STA) sendAssocReq() {
+	s.state = staAssociating
+	req := &frame.AssocReq{
+		Capability: frame.CapESS,
+		ListenIntv: 10,
+		SSID:       s.cfg.SSID,
+		Rates:      []byte{frame.RateByte(2, true)},
+	}
+	f := frame.NewMgmt(frame.SubtypeAssocReq, s.bssid, s.Address(), s.bssid, frame.MarshalAssocReq(req))
+	s.dcf.Enqueue(f)
+	s.armMgmtTimer(s.sendAssocReq)
+}
+
+// armMgmtTimer schedules a retry of the current management step; after 4
+// fruitless tries the station rescans.
+func (s *STA) armMgmtTimer(retry func()) {
+	s.k.Cancel(s.mgmtTimer)
+	s.mgmtTries++
+	if s.mgmtTries > 4 {
+		s.startScan()
+		return
+	}
+	s.mgmtTimer = s.k.Schedule(80*sim.Millisecond, "mgmt-retry", retry)
+}
+
+// --- frame handling ---------------------------------------------------------
+
+func (s *STA) receive(f *frame.Frame, info medium.RxInfo) {
+	switch f.Type {
+	case frame.TypeManagement:
+		s.handleMgmt(f, info)
+	case frame.TypeData:
+		s.handleData(f)
+	}
+}
+
+func (s *STA) handleMgmt(f *frame.Frame, info medium.RxInfo) {
+	switch f.Subtype {
+	case frame.SubtypeBeacon, frame.SubtypeProbeResp:
+		s.handleBeacon(f, info)
+	case frame.SubtypeAuth:
+		s.handleAuth(f)
+	case frame.SubtypeAssocResp, frame.SubtypeReassocResp:
+		s.handleAssocResp(f)
+	case frame.SubtypeDeauth, frame.SubtypeDisassoc:
+		if s.state == staAssociated && f.Addr2 == s.bssid {
+			s.Stats.LinkLosses++
+			s.startScan()
+		}
+	}
+}
+
+func (s *STA) handleBeacon(f *frame.Frame, info medium.RxInfo) {
+	b, err := frame.ParseBeacon(f.Body)
+	if err != nil {
+		return
+	}
+	s.Stats.BeaconsSeen++
+	c := s.cands[f.Addr2]
+	if c == nil {
+		c = &candidate{bssid: f.Addr2, channel: s.dcf.Radio().Channel()}
+		s.cands[f.Addr2] = c
+		c.rssi = float64(info.RSSI)
+	}
+	c.ssid = b.SSID
+	c.privacy = b.Capability&frame.CapPrivacy != 0
+	c.lastSeen = s.k.Now()
+	c.rssi = 0.8*c.rssi + 0.2*float64(info.RSSI)
+	if b.Channel != 0 {
+		c.channel = int(b.Channel)
+	}
+
+	if s.state == staAssociated && f.Addr2 == s.bssid {
+		s.missed = 0
+		s.servRSSI = c.rssi
+		if b.IntervalTU > 0 {
+			s.beaconInt = sim.Duration(b.IntervalTU) * TU
+		}
+		if s.cfg.PowerSave {
+			// Sync the doze cycle to the AP's actual beacon schedule: wake
+			// shortly before the next beacon, doze once the MAC drains.
+			guard := 4 * sim.Millisecond
+			if s.beaconInt <= 2*guard {
+				guard = s.beaconInt / 4
+			}
+			s.armPSWake(s.beaconInt - guard)
+			s.handleTIM(b.TIM)
+			s.k.Schedule(5*sim.Millisecond, "ps-doze", s.scheduleDoze)
+		}
+		s.maybeRoam()
+	}
+}
+
+// maybeRoam triggers a rescan when the serving signal degrades below the
+// roam threshold — if a better AP exists, finishScan joins it.
+func (s *STA) maybeRoam() {
+	if units.DBm(s.servRSSI) >= s.cfg.RoamThreshold {
+		return
+	}
+	// Some other known candidate must already look better by the
+	// hysteresis margin, otherwise stay and tolerate the weak link.
+	for _, c := range s.cands {
+		if c.bssid == s.bssid || c.ssid != s.cfg.SSID {
+			continue
+		}
+		if units.DBm(c.rssi) > units.DBm(s.servRSSI).Add(s.cfg.RoamHysteresis) {
+			old := s.bssid
+			s.Stats.Roams++
+			s.Tracer.Trace(trace.Event{At: s.k.Now(), Node: s.name(), Kind: trace.KindRoam,
+				Detail: fmt.Sprintf("%v -> %v (%.1f -> %.1f dBm)", old, c.bssid, s.servRSSI, c.rssi)})
+			s.join(c)
+			return
+		}
+	}
+}
+
+func (s *STA) handleAuth(f *frame.Frame) {
+	if s.state != staAuthenticating || f.Addr2 != s.bssid {
+		return
+	}
+	a, err := frame.ParseAuth(f.Body)
+	if err != nil {
+		return
+	}
+	switch {
+	case a.SeqNum == 2 && a.Status == frame.StatusSuccess && a.Algorithm == frame.AuthAlgoOpen:
+		s.mgmtTries = 0
+		s.k.Cancel(s.mgmtTimer)
+		s.sendAssocReq()
+	case a.SeqNum == 2 && a.Status == frame.StatusSuccess && a.Algorithm == frame.AuthAlgoSharedKey:
+		// Return the challenge WEP-sealed (sequence 3).
+		body := frame.MarshalAuth(&frame.Auth{
+			Algorithm: frame.AuthAlgoSharedKey, SeqNum: 3, Challenge: a.Challenge,
+		})
+		sealed, err := wep.Seal(s.cfg.WEPKey, s.ivs.Next(), 0, body)
+		if err != nil {
+			return
+		}
+		out := frame.NewMgmt(frame.SubtypeAuth, s.bssid, s.Address(), s.bssid, sealed)
+		out.Protected = true
+		s.dcf.Enqueue(out)
+		s.armMgmtTimer(s.sendAuth1)
+	case a.SeqNum == 4 && a.Status == frame.StatusSuccess:
+		s.mgmtTries = 0
+		s.k.Cancel(s.mgmtTimer)
+		s.sendAssocReq()
+	case a.Status != frame.StatusSuccess:
+		s.k.Cancel(s.mgmtTimer)
+		s.startScan()
+	}
+}
+
+func (s *STA) handleAssocResp(f *frame.Frame) {
+	if s.state != staAssociating || f.Addr2 != s.bssid {
+		return
+	}
+	resp, err := frame.ParseAssocResp(f.Body)
+	if err != nil || resp.Status != frame.StatusSuccess {
+		s.k.Cancel(s.mgmtTimer)
+		s.startScan()
+		return
+	}
+	s.k.Cancel(s.mgmtTimer)
+	s.mgmtTries = 0
+	s.aid = resp.AID
+	s.state = staAssociated
+	s.missed = 0
+	s.Stats.Associations++
+	s.Tracer.Trace(trace.Event{At: s.k.Now(), Node: s.name(), Kind: trace.KindMgmt,
+		Detail: fmt.Sprintf("associated to %v aid=%d", s.bssid, s.aid)})
+	s.watchBeacons()
+	if s.cfg.PowerSave {
+		s.enterPS()
+	}
+	if s.OnAssociated != nil {
+		s.OnAssociated(s.bssid)
+	}
+}
+
+func (s *STA) handleData(f *frame.Frame) {
+	if s.state != staAssociated || !f.FromDS || f.Addr2 != s.bssid {
+		return
+	}
+	body := f.Body
+	if f.Protected {
+		if !s.privacy() {
+			return
+		}
+		plain, err := wep.Open(s.cfg.WEPKey, body)
+		if err != nil {
+			return
+		}
+		body = plain
+	}
+	et, payload, err := frame.DecapSNAP(body)
+	if err != nil || et != EtherTypePayload {
+		return
+	}
+	s.Stats.RxPayloads++
+	if s.cfg.PowerSave {
+		s.psAwaitData = false
+		if f.MoreData {
+			// More buffered frames: poll again.
+			s.sendPSPoll()
+		} else {
+			s.k.Schedule(2*sim.Millisecond, "ps-doze", s.scheduleDoze)
+		}
+	}
+	if s.OnReceive != nil {
+		s.OnReceive(f.SA(), f.DA(), payload)
+	}
+}
+
+// --- beacon watchdog --------------------------------------------------------
+
+// watchBeacons arms a periodic check that counts missed beacons.
+func (s *STA) watchBeacons() {
+	interval := s.beaconInt
+	var check func()
+	check = func() {
+		if s.state != staAssociated {
+			return
+		}
+		s.missed++
+		if s.missed > s.cfg.BeaconMissLimit {
+			s.Stats.LinkLosses++
+			s.Tracer.Trace(trace.Event{At: s.k.Now(), Node: s.name(), Kind: trace.KindMgmt,
+				Detail: "beacon loss, rescanning"})
+			s.startScan()
+			return
+		}
+		s.k.Schedule(interval, "beacon-watchdog", check)
+	}
+	// handleBeacon resets missed; the watchdog increments it each interval.
+	s.k.Schedule(interval+interval/2, "beacon-watchdog", check)
+}
+
+// --- power save -------------------------------------------------------------
+
+// enterPS announces PS mode with a null frame. The station stays awake
+// until its first beacon, which synchronizes the doze cycle.
+func (s *STA) enterPS() {
+	nf := frame.NewNullData(s.bssid, s.Address(), s.bssid, true)
+	nf.PwrMgmt = true
+	s.dcf.Enqueue(nf)
+	s.armPSWake(s.beaconInt) // failsafe until the first beacon resyncs
+}
+
+// armPSWake (re)schedules the pre-beacon wakeup.
+func (s *STA) armPSWake(d sim.Duration) {
+	if s.psWake.Scheduled() {
+		s.k.Cancel(s.psWake)
+	}
+	s.psWake = s.k.Schedule(d, "ps-wake", s.psWakeFire)
+}
+
+// psWakeFire wakes the receiver for the expected beacon. If the beacon is
+// lost the station simply stays awake until the next one resynchronizes
+// the cycle.
+func (s *STA) psWakeFire() {
+	if s.state != staAssociated || !s.cfg.PowerSave {
+		return
+	}
+	if s.dcf.Radio().Asleep() {
+		s.dcf.Radio().Wake()
+	}
+	s.armPSWake(s.beaconInt) // failsafe; the beacon handler replaces it
+}
+
+// scheduleDoze puts the radio to sleep when the MAC has drained and no
+// polled data is outstanding.
+func (s *STA) scheduleDoze() {
+	if s.state != staAssociated || !s.cfg.PowerSave {
+		return
+	}
+	if s.dcf.Busy() || s.dcf.Radio().Transmitting() || s.psAwaitData {
+		s.k.Schedule(2*sim.Millisecond, "ps-doze", s.scheduleDoze)
+		return
+	}
+	if !s.dcf.Radio().Asleep() {
+		s.dcf.Radio().Sleep()
+	}
+}
+
+// wakeForTraffic ensures the radio is awake for an outbound frame.
+func (s *STA) wakeForTraffic() {
+	if s.dcf.Radio().Asleep() {
+		s.dcf.Radio().Wake()
+	}
+	if s.cfg.PowerSave {
+		s.k.Schedule(10*sim.Millisecond, "ps-doze", s.scheduleDoze)
+	}
+}
+
+// handleTIM polls for buffered traffic announced in the beacon.
+func (s *STA) handleTIM(tim *frame.TIM) {
+	if !tim.HasAID(s.aid) {
+		return
+	}
+	s.sendPSPoll()
+}
+
+func (s *STA) sendPSPoll() {
+	if s.dcf.Radio().Asleep() {
+		s.dcf.Radio().Wake()
+	}
+	s.Stats.PSPollsSent++
+	s.dcf.Enqueue(frame.NewPSPoll(s.bssid, s.Address(), s.aid))
+	// Stay awake for the polled frame; a token guards against a stale
+	// timeout clearing a newer wait.
+	s.psAwaitData = true
+	s.psAwaitSeq++
+	seq := s.psAwaitSeq
+	s.k.Schedule(50*sim.Millisecond, "ps-await-timeout", func() {
+		if s.psAwaitSeq == seq {
+			s.psAwaitData = false
+		}
+	})
+	s.k.Schedule(20*sim.Millisecond, "ps-doze", s.scheduleDoze)
+}
+
+func (s *STA) name() string { return s.dcf.Radio().Name() }

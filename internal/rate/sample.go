@@ -1,0 +1,304 @@
+package rate
+
+import (
+	"repro/internal/frame"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+// rateStat is the bookkeeping both SampleRate and Minstrel keep per
+// (destination, rate).
+type rateStat struct {
+	attempts uint64
+	success  uint64
+	// ewmaProb is the smoothed delivery probability in [0,1]; -1 until the
+	// first observation.
+	ewmaProb float64
+	// windowAtt/windowSucc accumulate within the current update window.
+	windowAtt  uint64
+	windowSucc uint64
+}
+
+// SampleRate is Bicket's SampleRate: pick the rate with the lowest expected
+// per-packet transmission time (airtime divided by estimated delivery
+// probability), and spend a fraction of packets probing other rates that
+// could plausibly be faster.
+type SampleRate struct {
+	Mode *phy.Mode
+	// SampleEvery sends one probe every N packets (default 10).
+	SampleEvery int
+
+	rng    *rng.Source
+	states map[frame.MACAddr]*srState
+}
+
+type srState struct {
+	stats   []rateStat
+	counter int
+	// lastSample holds the rate being probed so results credit correctly;
+	// -1 when not probing. (Results arrive tagged with the rate, so this is
+	// only needed to rotate the probe target.)
+	probeIdx phy.RateIdx
+}
+
+// NewSampleRate builds a SampleRate controller.
+func NewSampleRate(mode *phy.Mode, src *rng.Source) *SampleRate {
+	return &SampleRate{
+		Mode:        mode,
+		SampleEvery: 10,
+		rng:         src.Split("samplerate"),
+		states:      make(map[frame.MACAddr]*srState),
+	}
+}
+
+// Name returns the controller name for experiment tables.
+func (s *SampleRate) Name() string { return "samplerate" }
+
+func (s *SampleRate) state(dst frame.MACAddr) *srState {
+	st, ok := s.states[dst]
+	if !ok {
+		st = &srState{stats: make([]rateStat, s.Mode.NumRates()), probeIdx: -1}
+		for i := range st.stats {
+			st.stats[i].ewmaProb = -1
+		}
+		s.states[dst] = st
+	}
+	return st
+}
+
+// prob returns the estimated delivery probability, optimistic (1.0) for
+// untried rates so they get sampled.
+func (st *srState) prob(i phy.RateIdx) float64 {
+	p := st.stats[i].ewmaProb
+	if p < 0 {
+		return 1.0
+	}
+	return p
+}
+
+// expectedTxTime returns airtime/prob in nanoseconds (float).
+func (s *SampleRate) expectedTxTime(st *srState, i phy.RateIdx, bytes int) float64 {
+	p := st.prob(i)
+	if p < 0.01 {
+		p = 0.01
+	}
+	return float64(s.Mode.Airtime(i, bytes)) / p
+}
+
+// best returns the rate minimizing expected transmission time.
+func (s *SampleRate) best(st *srState, bytes int) phy.RateIdx {
+	bestIdx := s.Mode.LowestBasic()
+	bestT := s.expectedTxTime(st, bestIdx, bytes)
+	for i := 0; i < s.Mode.NumRates(); i++ {
+		if t := s.expectedTxTime(st, phy.RateIdx(i), bytes); t < bestT {
+			bestT = t
+			bestIdx = phy.RateIdx(i)
+		}
+	}
+	return bestIdx
+}
+
+// SelectRate implements the controller interface.
+func (s *SampleRate) SelectRate(dst frame.MACAddr, bytes, attempt int) phy.RateIdx {
+	if dst.IsGroup() {
+		return s.Mode.LowestBasic()
+	}
+	st := s.state(dst)
+	best := s.best(st, bytes)
+	if attempt >= 2 {
+		// Deep in the retry chain: fall back to the most robust rate.
+		return s.Mode.LowestBasic()
+	}
+	if attempt > 0 {
+		return best
+	}
+	st.counter++
+	if s.SampleEvery > 0 && st.counter%s.SampleEvery == 0 {
+		// Probe a random rate whose lossless airtime beats the current
+		// best's expected time — the SampleRate "could be faster" rule.
+		bestT := s.expectedTxTime(st, best, bytes)
+		candidates := make([]phy.RateIdx, 0, s.Mode.NumRates())
+		for i := 0; i < s.Mode.NumRates(); i++ {
+			ri := phy.RateIdx(i)
+			if ri == best {
+				continue
+			}
+			if float64(s.Mode.Airtime(ri, bytes)) < bestT {
+				candidates = append(candidates, ri)
+			}
+		}
+		if len(candidates) > 0 {
+			return candidates[s.rng.Intn(len(candidates))]
+		}
+	}
+	return best
+}
+
+// OnTxResult implements the controller interface.
+func (s *SampleRate) OnTxResult(dst frame.MACAddr, ri phy.RateIdx, success bool) {
+	if dst.IsGroup() {
+		return
+	}
+	st := s.state(dst)
+	stat := &st.stats[ri]
+	stat.attempts++
+	if success {
+		stat.success++
+	}
+	// EWMA with alpha 0.1 per observation.
+	obs := 0.0
+	if success {
+		obs = 1.0
+	}
+	if stat.ewmaProb < 0 {
+		stat.ewmaProb = obs
+	} else {
+		stat.ewmaProb = 0.9*stat.ewmaProb + 0.1*obs
+	}
+}
+
+// Minstrel approximates the mac80211 minstrel algorithm: per-rate EWMA
+// delivery probability updated in windows, rate chosen by estimated
+// throughput (prob × bitrate ÷ airtime), ~10% look-around sampling, and a
+// retry chain that degrades toward robust rates.
+type Minstrel struct {
+	Mode *phy.Mode
+	// SamplePercent of packets probe a non-best rate (default 10).
+	SamplePercent int
+	// Window is the number of results per stats update (default 25).
+	Window int
+
+	rng    *rng.Source
+	states map[frame.MACAddr]*minstrelState
+}
+
+type minstrelState struct {
+	stats      []rateStat
+	results    int
+	best       phy.RateIdx
+	secondBest phy.RateIdx
+	sampleSeq  int
+}
+
+// NewMinstrel builds a Minstrel controller.
+func NewMinstrel(mode *phy.Mode, src *rng.Source) *Minstrel {
+	return &Minstrel{
+		Mode:          mode,
+		SamplePercent: 10,
+		Window:        25,
+		rng:           src.Split("minstrel"),
+		states:        make(map[frame.MACAddr]*minstrelState),
+	}
+}
+
+// Name returns the controller name for experiment tables.
+func (m *Minstrel) Name() string { return "minstrel" }
+
+func (m *Minstrel) state(dst frame.MACAddr) *minstrelState {
+	st, ok := m.states[dst]
+	if !ok {
+		st = &minstrelState{
+			stats:      make([]rateStat, m.Mode.NumRates()),
+			best:       m.Mode.LowestBasic(),
+			secondBest: m.Mode.LowestBasic(),
+		}
+		for i := range st.stats {
+			st.stats[i].ewmaProb = -1
+		}
+		m.states[dst] = st
+	}
+	return st
+}
+
+// throughput estimates goodput for rate i: prob × bitrate. Airtime scaling
+// by frame length cancels when comparing rates at equal length, except for
+// the per-frame PHY overhead, so we use the real airtime of a 1200-byte
+// frame as the normalizer.
+func (m *Minstrel) throughput(st *minstrelState, i phy.RateIdx) float64 {
+	p := st.stats[i].ewmaProb
+	if p < 0 {
+		return 0
+	}
+	// Minstrel rule: probabilities under 10% yield no throughput credit.
+	if p < 0.1 {
+		return 0
+	}
+	air := float64(m.Mode.Airtime(i, 1200))
+	return p * 8 * 1200 / air
+}
+
+// updateStats folds the window counters into the EWMAs and re-ranks rates.
+func (m *Minstrel) updateStats(st *minstrelState) {
+	for i := range st.stats {
+		s := &st.stats[i]
+		if s.windowAtt > 0 {
+			obs := float64(s.windowSucc) / float64(s.windowAtt)
+			if s.ewmaProb < 0 {
+				s.ewmaProb = obs
+			} else {
+				s.ewmaProb = 0.75*s.ewmaProb + 0.25*obs
+			}
+			s.windowAtt, s.windowSucc = 0, 0
+		}
+	}
+	best, second := m.Mode.LowestBasic(), m.Mode.LowestBasic()
+	bestT, secondT := -1.0, -1.0
+	for i := 0; i < m.Mode.NumRates(); i++ {
+		t := m.throughput(st, phy.RateIdx(i))
+		if t > bestT {
+			second, secondT = best, bestT
+			best, bestT = phy.RateIdx(i), t
+		} else if t > secondT {
+			second, secondT = phy.RateIdx(i), t
+		}
+	}
+	st.best, st.secondBest = best, second
+}
+
+// SelectRate implements the controller interface.
+func (m *Minstrel) SelectRate(dst frame.MACAddr, _, attempt int) phy.RateIdx {
+	if dst.IsGroup() {
+		return m.Mode.LowestBasic()
+	}
+	st := m.state(dst)
+	switch {
+	case attempt == 0:
+		st.sampleSeq++
+		if m.SamplePercent > 0 && st.sampleSeq%(100/m.SamplePercent) == 0 {
+			// Look-around: probe a random non-best rate. Minstrel biases
+			// sampling toward rates adjacent to the best.
+			span := m.Mode.NumRates()
+			probe := phy.RateIdx(m.rng.Intn(span))
+			if probe == st.best {
+				probe = (probe + 1) % phy.RateIdx(span)
+			}
+			return probe
+		}
+		return st.best
+	case attempt == 1:
+		return st.best
+	case attempt == 2:
+		return st.secondBest
+	default:
+		return m.Mode.LowestBasic()
+	}
+}
+
+// OnTxResult implements the controller interface.
+func (m *Minstrel) OnTxResult(dst frame.MACAddr, ri phy.RateIdx, success bool) {
+	if dst.IsGroup() {
+		return
+	}
+	st := m.state(dst)
+	s := &st.stats[ri]
+	s.attempts++
+	s.windowAtt++
+	if success {
+		s.success++
+		s.windowSucc++
+	}
+	st.results++
+	if st.results%m.Window == 0 {
+		m.updateStats(st)
+	}
+}

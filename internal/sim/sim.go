@@ -1,0 +1,249 @@
+// Package sim is the discrete-event simulation kernel underneath the whole
+// stack. It provides a nanosecond-resolution virtual clock, a stable
+// priority queue of events, cancellable timers, and run-until/run-for
+// control. The kernel is strictly single-goroutine: all model code executes
+// inside event callbacks, which keeps runs bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration semantics but is a distinct type so wall-clock durations
+// cannot be mixed into the simulation accidentally.
+type Duration int64
+
+// Convenience duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add advances a time by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span between two times.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds converts a duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds converts a duration to floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+}
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.1fµs", d.Microseconds())
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}
+
+// Event is a scheduled callback. Hold the pointer returned by Schedule* to
+// cancel it later; a cancelled or fired event is inert.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: schedule order
+	index  int    // heap position, -1 when not queued
+	fn     func()
+	name   string
+	cancel bool
+}
+
+// At returns the virtual time this event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation executive. The zero value is not usable;
+// construct with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// Hooks for instrumentation; may be nil.
+	OnEvent func(at Time, name string)
+	// processed counts events executed, for diagnostics and tests.
+	processed uint64
+}
+
+// NewKernel returns a kernel with the clock at zero and an empty queue.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events in the queue (including cancelled
+// events not yet reaped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// ScheduleAt queues fn to run at the absolute time at. Scheduling in the
+// past panics: that is always a model bug.
+func (k *Kernel) ScheduleAt(at Time, name string, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, at, k.now))
+	}
+	e := &Event{at: at, seq: k.seq, fn: fn, name: name}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Schedule queues fn to run after delay d (which may be zero: the event runs
+// after all events already queued for the current instant).
+func (k *Kernel) Schedule(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, name))
+	}
+	return k.ScheduleAt(k.now.Add(d), name, fn)
+}
+
+// Cancel marks an event so it will not fire. Cancelling nil, fired or
+// already-cancelled events is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	e.cancel = true
+	e.fn = nil
+}
+
+// Stop makes the current Run call return after the in-flight event finishes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step executes the single earliest event. It reports false when the queue
+// is empty.
+func (k *Kernel) step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		if e.at < k.now {
+			panic("sim: queue yielded event in the past")
+		}
+		k.now = e.at
+		if k.OnEvent != nil {
+			k.OnEvent(e.at, e.name)
+		}
+		fn := e.fn
+		e.fn = nil
+		k.processed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to the deadline (if it is in the future) and returns.
+func (k *Kernel) RunUntil(deadline Time) {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.queue) == 0 {
+			break
+		}
+		// Peek.
+		next := k.queue[0]
+		if next.cancel {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		k.step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunFor executes events for a span of virtual time from now.
+func (k *Kernel) RunFor(d Duration) {
+	k.RunUntil(k.now.Add(d))
+}
+
+// Ticker repeatedly invokes fn every period until cancelled. The first tick
+// fires after one period. It returns a cancel function.
+func (k *Kernel) Ticker(period Duration, name string, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	var ev *Event
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = k.Schedule(period, name, tick)
+		}
+	}
+	ev = k.Schedule(period, name, tick)
+	return func() {
+		stopped = true
+		k.Cancel(ev)
+	}
+}

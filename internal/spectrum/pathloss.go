@@ -1,0 +1,287 @@
+// Package spectrum models radio propagation: deterministic path loss
+// (free-space, log-distance, two-ray ground), slow log-normal shadowing and
+// fast Rayleigh/Rician fading. A composite Model chains the pieces; the
+// medium asks it for the received power of every transmission at every
+// candidate receiver.
+//
+// These models substitute for the over-the-air testbeds of the original
+// papers: rate-adaptation and MAC mechanisms only observe per-frame
+// delivery, RSSI and loss burstiness, all of which these standard models
+// reproduce with the right qualitative shape.
+package spectrum
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// PathLoss is a deterministic distance-dependent loss model.
+type PathLoss interface {
+	// Loss returns the propagation loss (positive dB) between two points.
+	Loss(tx, rx geom.Point) units.DB
+}
+
+// FreeSpace is the Friis free-space model:
+// L = 20 log10(4 pi d / lambda).
+type FreeSpace struct {
+	Freq units.Hertz
+}
+
+// Loss implements PathLoss.
+func (f FreeSpace) Loss(tx, rx geom.Point) units.DB {
+	d := tx.Distance(rx)
+	if d < 1 {
+		d = 1 // clamp inside near field; standard simulator practice
+	}
+	lambda := f.Freq.Wavelength()
+	return units.DB(20 * math.Log10(4*math.Pi*d/lambda))
+}
+
+// LogDistance generalises free space with a path-loss exponent: free-space
+// loss up to the reference distance, then n*10 dB per decade. Exponent 3.0
+// approximates an office floor; 2.0 recovers free space.
+type LogDistance struct {
+	Freq     units.Hertz
+	Exponent float64
+	RefDist  float64 // reference distance in metres, typically 1
+}
+
+// NewLogDistance returns a log-distance model with a 1 m reference.
+func NewLogDistance(freq units.Hertz, exponent float64) LogDistance {
+	return LogDistance{Freq: freq, Exponent: exponent, RefDist: 1}
+}
+
+// Loss implements PathLoss.
+func (l LogDistance) Loss(tx, rx geom.Point) units.DB {
+	d := tx.Distance(rx)
+	ref := l.RefDist
+	if ref <= 0 {
+		ref = 1
+	}
+	if d < ref {
+		d = ref
+	}
+	l0 := FreeSpace{Freq: l.Freq}.Loss(tx, tx.Add(geom.Vector{X: ref}))
+	return l0 + units.DB(10*l.Exponent*math.Log10(d/ref))
+}
+
+// TwoRayGround models ground reflection: free space up to the crossover
+// distance dc = 4 pi ht hr / lambda, then L = 40 log10(d) - 10 log10(ht^2 hr^2),
+// i.e. fourth-power distance decay. Antenna heights come from the points' Z.
+type TwoRayGround struct {
+	Freq units.Hertz
+}
+
+// Loss implements PathLoss.
+func (t TwoRayGround) Loss(tx, rx geom.Point) units.DB {
+	d := tx.GroundDistance(rx)
+	if d < 1 {
+		d = 1
+	}
+	ht, hr := tx.Z, rx.Z
+	if ht <= 0 {
+		ht = 1.5
+	}
+	if hr <= 0 {
+		hr = 1.5
+	}
+	lambda := t.Freq.Wavelength()
+	crossover := 4 * math.Pi * ht * hr / lambda
+	if d < crossover {
+		return FreeSpace{Freq: t.Freq}.Loss(tx, rx)
+	}
+	loss := 40*math.Log10(d) - 10*math.Log10(ht*ht*hr*hr)
+	return units.DB(loss)
+}
+
+// FixedLoss returns the same loss regardless of distance; useful in unit
+// tests and for ideal-channel experiments.
+type FixedLoss struct {
+	DB units.DB
+}
+
+// Loss implements PathLoss.
+func (f FixedLoss) Loss(_, _ geom.Point) units.DB { return f.DB }
+
+// MatrixLoss specifies loss per directed node pair and falls back to a
+// default. Hidden-terminal topologies are easiest to express this way: set
+// the loss between the hidden pair above any carrier-sense threshold.
+type MatrixLoss struct {
+	Default units.DB
+	// Pairs maps "txID->rxID" keys to losses. Keys are built by PairKey.
+	Pairs map[string]units.DB
+	// Resolver maps a position to a node ID. The medium sets positions; the
+	// scenario wires IDs. If nil, only Default applies.
+	Resolver func(p geom.Point) string
+}
+
+// PairKey builds the map key for a directed pair.
+func PairKey(tx, rx string) string { return tx + "->" + rx }
+
+// Loss implements PathLoss.
+func (m MatrixLoss) Loss(tx, rx geom.Point) units.DB {
+	if m.Resolver != nil && m.Pairs != nil {
+		key := PairKey(m.Resolver(tx), m.Resolver(rx))
+		if l, ok := m.Pairs[key]; ok {
+			return l
+		}
+	}
+	return m.Default
+}
+
+// Fading is a time-varying multiplicative channel gain (usually a loss,
+// sometimes a small gain) sampled per frame per link.
+type Fading interface {
+	// Gain returns the fading gain in dB for a transmission on the directed
+	// link (tx, rx) at time t. Negative values are fades.
+	Gain(linkID uint64, t sim.Time) units.DB
+}
+
+// NoFading is the identity fading process.
+type NoFading struct{}
+
+// Gain implements Fading.
+func (NoFading) Gain(uint64, sim.Time) units.DB { return 0 }
+
+// Shadowing adds a log-normal (normal in dB) offset per link, constant in
+// time — the standard model for obstruction variance between node pairs.
+type Shadowing struct {
+	SigmaDB float64
+	rng     *rng.Source
+	cache   map[uint64]units.DB
+}
+
+// NewShadowing builds a shadowing process with the given deviation.
+func NewShadowing(src *rng.Source, sigmaDB float64) *Shadowing {
+	return &Shadowing{SigmaDB: sigmaDB, rng: src, cache: make(map[uint64]units.DB)}
+}
+
+// Gain implements Fading. The per-link offset is drawn once and cached so
+// the link is consistent for the whole run.
+func (s *Shadowing) Gain(linkID uint64, _ sim.Time) units.DB {
+	if g, ok := s.cache[linkID]; ok {
+		return g
+	}
+	// Derive a per-link stream so iteration order cannot matter.
+	draw := s.rng.Split(shadowLabel(linkID)).NormFloat64()
+	g := units.DB(draw * s.SigmaDB)
+	s.cache[linkID] = g
+	return g
+}
+
+func shadowLabel(linkID uint64) string {
+	buf := [20]byte{'s', 'h', 'a', 'd', ':'}
+	n := 5
+	for i := 0; i < 8; i++ {
+		buf[n] = byte(linkID >> (8 * i))
+		n++
+	}
+	return string(buf[:n])
+}
+
+// Rayleigh models fast fading without a line-of-sight component. The gain is
+// resampled per coherence interval (block fading), which preserves the
+// burst-loss structure rate-adaptation algorithms react to.
+type Rayleigh struct {
+	// Coherence is the block length; gains are constant within a block.
+	Coherence sim.Duration
+	rng       *rng.Source
+}
+
+// NewRayleigh builds a Rayleigh fading process.
+func NewRayleigh(src *rng.Source, coherence sim.Duration) *Rayleigh {
+	if coherence <= 0 {
+		coherence = 10 * sim.Millisecond
+	}
+	return &Rayleigh{Coherence: coherence, rng: src}
+}
+
+// Gain implements Fading.
+func (r *Rayleigh) Gain(linkID uint64, t sim.Time) units.DB {
+	block := uint64(t) / uint64(r.Coherence)
+	src := r.rng.Split(fadeLabel(linkID, block))
+	// |h|^2 for complex Gaussian h is exponential with mean 1.
+	power := src.ExpFloat64()
+	if power < 1e-9 {
+		power = 1e-9
+	}
+	return units.DBFromLinear(power)
+}
+
+// Rician adds a line-of-sight component with factor K (linear). K=0 recovers
+// Rayleigh; large K approaches no fading.
+type Rician struct {
+	K         float64
+	Coherence sim.Duration
+	rng       *rng.Source
+}
+
+// NewRician builds a Rician fading process with the given K factor.
+func NewRician(src *rng.Source, k float64, coherence sim.Duration) *Rician {
+	if coherence <= 0 {
+		coherence = 10 * sim.Millisecond
+	}
+	return &Rician{K: k, Coherence: coherence, rng: src}
+}
+
+// Gain implements Fading.
+func (r *Rician) Gain(linkID uint64, t sim.Time) units.DB {
+	block := uint64(t) / uint64(r.Coherence)
+	src := r.rng.Split(fadeLabel(linkID, block))
+	// h = sqrt(K/(K+1)) + sqrt(1/(K+1)) * CN(0,1); power = |h|^2.
+	los := math.Sqrt(r.K / (r.K + 1))
+	sigma := math.Sqrt(1 / (2 * (r.K + 1)))
+	re := los + sigma*src.NormFloat64()
+	im := sigma * src.NormFloat64()
+	power := re*re + im*im
+	if power < 1e-9 {
+		power = 1e-9
+	}
+	return units.DBFromLinear(power)
+}
+
+func fadeLabel(linkID, block uint64) string {
+	buf := [24]byte{'f', 'a', 'd', 'e', ':'}
+	n := 5
+	for i := 0; i < 8; i++ {
+		buf[n] = byte(linkID >> (8 * i))
+		n++
+	}
+	for i := 0; i < 8; i++ {
+		buf[n] = byte(block >> (8 * i))
+		n++
+	}
+	return string(buf[:n])
+}
+
+// Model is the composite channel: deterministic path loss plus optional
+// shadowing and fast fading.
+type Model struct {
+	PathLoss PathLoss
+	Shadow   Fading // usually *Shadowing or NoFading
+	Fast     Fading // usually *Rayleigh, *Rician or NoFading
+}
+
+// NewModel assembles a composite model; nil shadow/fast default to none.
+func NewModel(pl PathLoss, shadow, fast Fading) *Model {
+	if shadow == nil {
+		shadow = NoFading{}
+	}
+	if fast == nil {
+		fast = NoFading{}
+	}
+	return &Model{PathLoss: pl, Shadow: shadow, Fast: fast}
+}
+
+// RxPower returns the received power for a transmission at txPower from tx
+// to rx on the directed link linkID at time t.
+func (m *Model) RxPower(txPower units.DBm, txPos, rxPos geom.Point, linkID uint64, t sim.Time) units.DBm {
+	p := txPower.Add(-m.PathLoss.Loss(txPos, rxPos))
+	p = p.Add(m.Shadow.Gain(linkID, t))
+	p = p.Add(m.Fast.Gain(linkID, t))
+	return p
+}

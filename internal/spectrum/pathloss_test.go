@@ -1,0 +1,239 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestFreeSpaceKnownValue(t *testing.T) {
+	// Friis at 2.4 GHz, 100 m: L = 20log10(4*pi*100/0.12492) ~ 80.1 dB.
+	fs := FreeSpace{Freq: 2400 * units.MHz}
+	l := fs.Loss(geom.Pt(0, 0), geom.Pt(100, 0))
+	if math.Abs(float64(l)-80.05) > 0.3 {
+		t.Errorf("free-space loss at 100 m = %v, want ~80 dB", l)
+	}
+}
+
+func TestFreeSpace6dBPerDoubling(t *testing.T) {
+	fs := FreeSpace{Freq: 2400 * units.MHz}
+	l1 := fs.Loss(geom.Pt(0, 0), geom.Pt(50, 0))
+	l2 := fs.Loss(geom.Pt(0, 0), geom.Pt(100, 0))
+	if math.Abs(float64(l2-l1)-6.02) > 0.05 {
+		t.Errorf("doubling distance added %v dB, want ~6.02", l2-l1)
+	}
+}
+
+func TestFreeSpaceNearFieldClamp(t *testing.T) {
+	fs := FreeSpace{Freq: 2400 * units.MHz}
+	l0 := fs.Loss(geom.Pt(0, 0), geom.Pt(0.01, 0))
+	l1 := fs.Loss(geom.Pt(0, 0), geom.Pt(1, 0))
+	if l0 != l1 {
+		t.Errorf("loss inside 1 m (%v) should clamp to the 1 m value (%v)", l0, l1)
+	}
+}
+
+func TestLogDistanceReducesToFreeSpace(t *testing.T) {
+	ld := NewLogDistance(2400*units.MHz, 2.0)
+	fs := FreeSpace{Freq: 2400 * units.MHz}
+	for _, d := range []float64{1, 10, 100, 300} {
+		got := ld.Loss(geom.Pt(0, 0), geom.Pt(d, 0))
+		want := fs.Loss(geom.Pt(0, 0), geom.Pt(d, 0))
+		if math.Abs(float64(got-want)) > 0.01 {
+			t.Errorf("exponent-2 log-distance at %vm = %v, free space = %v", d, got, want)
+		}
+	}
+}
+
+func TestLogDistanceExponent(t *testing.T) {
+	ld := NewLogDistance(2400*units.MHz, 3.5)
+	l10 := ld.Loss(geom.Pt(0, 0), geom.Pt(10, 0))
+	l100 := ld.Loss(geom.Pt(0, 0), geom.Pt(100, 0))
+	if math.Abs(float64(l100-l10)-35) > 0.01 {
+		t.Errorf("decade added %v dB, want 35", l100-l10)
+	}
+}
+
+func TestLossMonotonicInDistance(t *testing.T) {
+	models := []PathLoss{
+		FreeSpace{Freq: 2400 * units.MHz},
+		NewLogDistance(2400*units.MHz, 3.0),
+		TwoRayGround{Freq: 2400 * units.MHz},
+	}
+	if err := quick.Check(func(aRaw, bRaw uint16) bool {
+		da := 1 + float64(aRaw%2000)
+		db := 1 + float64(bRaw%2000)
+		if da > db {
+			da, db = db, da
+		}
+		for _, m := range models {
+			la := m.Loss(geom.Pt(0, 0), geom.Pt(da, 0))
+			lb := m.Loss(geom.Pt(0, 0), geom.Pt(db, 0))
+			if lb < la-1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoRayCrossover(t *testing.T) {
+	tr := TwoRayGround{Freq: 2400 * units.MHz}
+	fs := FreeSpace{Freq: 2400 * units.MHz}
+	// Below crossover (~226 m for 1.5 m antennas at 2.4 GHz) it is Friis.
+	near := tr.Loss(geom.Pt(0, 0), geom.Pt(100, 0))
+	if near != fs.Loss(geom.Pt(0, 0), geom.Pt(100, 0)) {
+		t.Errorf("two-ray below crossover should equal free space")
+	}
+	// Beyond crossover, 12 dB per doubling (fourth power).
+	l400 := tr.Loss(geom.Pt(0, 0), geom.Pt(400, 0))
+	l800 := tr.Loss(geom.Pt(0, 0), geom.Pt(800, 0))
+	if math.Abs(float64(l800-l400)-12.04) > 0.1 {
+		t.Errorf("two-ray doubling beyond crossover added %v dB, want ~12", l800-l400)
+	}
+}
+
+func TestMatrixLoss(t *testing.T) {
+	ids := map[geom.Point]string{
+		geom.Pt(0, 0):   "a",
+		geom.Pt(100, 0): "b",
+		geom.Pt(200, 0): "c",
+	}
+	m := MatrixLoss{
+		Default: 60,
+		Pairs: map[string]units.DB{
+			PairKey("a", "c"): 200, // hidden pair
+		},
+		Resolver: func(p geom.Point) string { return ids[p] },
+	}
+	if l := m.Loss(geom.Pt(0, 0), geom.Pt(100, 0)); l != 60 {
+		t.Errorf("default pair loss = %v, want 60", l)
+	}
+	if l := m.Loss(geom.Pt(0, 0), geom.Pt(200, 0)); l != 200 {
+		t.Errorf("hidden pair loss = %v, want 200", l)
+	}
+	// Direction matters.
+	if l := m.Loss(geom.Pt(200, 0), geom.Pt(0, 0)); l != 60 {
+		t.Errorf("reverse pair loss = %v, want default 60", l)
+	}
+}
+
+func TestShadowingConsistentPerLink(t *testing.T) {
+	s := NewShadowing(rng.New(1), 6)
+	g1 := s.Gain(42, 0)
+	g2 := s.Gain(42, sim.Time(5*sim.Second))
+	if g1 != g2 {
+		t.Errorf("shadowing changed over time on one link: %v vs %v", g1, g2)
+	}
+	if s.Gain(43, 0) == g1 {
+		t.Error("distinct links got identical shadowing (unlikely)")
+	}
+}
+
+func TestShadowingMoments(t *testing.T) {
+	s := NewShadowing(rng.New(2), 8)
+	var sum, sumSq float64
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		g := float64(s.Gain(i, 0))
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.5 {
+		t.Errorf("shadowing mean = %v dB, want ~0", mean)
+	}
+	if math.Abs(std-8) > 0.5 {
+		t.Errorf("shadowing stddev = %v dB, want ~8", std)
+	}
+}
+
+func TestRayleighBlockConstant(t *testing.T) {
+	r := NewRayleigh(rng.New(3), 10*sim.Millisecond)
+	g1 := r.Gain(7, sim.Time(1*sim.Millisecond))
+	g2 := r.Gain(7, sim.Time(9*sim.Millisecond))
+	if g1 != g2 {
+		t.Errorf("gain changed within one coherence block: %v vs %v", g1, g2)
+	}
+	g3 := r.Gain(7, sim.Time(11*sim.Millisecond))
+	if g3 == g1 {
+		t.Error("gain identical across blocks (unlikely)")
+	}
+}
+
+func TestRayleighMeanPowerUnity(t *testing.T) {
+	r := NewRayleigh(rng.New(4), sim.Millisecond)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := r.Gain(uint64(i%16), sim.Time(i)*sim.Time(sim.Millisecond))
+		sum += units.DB(g).Linear()
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.05 {
+		t.Errorf("Rayleigh mean linear power = %v, want ~1", mean)
+	}
+}
+
+func TestRicianApproachesNoFadingForLargeK(t *testing.T) {
+	r := NewRician(rng.New(5), 100, sim.Millisecond)
+	for i := 0; i < 1000; i++ {
+		g := float64(r.Gain(uint64(i), sim.Time(i)*sim.Time(sim.Millisecond)))
+		if math.Abs(g) > 3 {
+			t.Fatalf("K=100 Rician produced %v dB fade, want near 0", g)
+		}
+	}
+}
+
+func TestRicianVarianceDecreasesWithK(t *testing.T) {
+	variance := func(k float64) float64 {
+		r := NewRician(rng.New(6), k, sim.Millisecond)
+		var sum, sumSq float64
+		const n = 5000
+		for i := 0; i < n; i++ {
+			g := float64(r.Gain(uint64(i), 0))
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / n
+		return sumSq/n - mean*mean
+	}
+	v1, v10 := variance(1), variance(10)
+	if v10 >= v1 {
+		t.Errorf("Rician dB variance K=10 (%v) should be below K=1 (%v)", v10, v1)
+	}
+}
+
+func TestCompositeModel(t *testing.T) {
+	m := NewModel(FixedLoss{DB: 50}, nil, nil)
+	p := m.RxPower(20, geom.Pt(0, 0), geom.Pt(10, 0), 1, 0)
+	if p != units.DBm(-30) {
+		t.Errorf("20 dBm through 50 dB loss = %v, want -30 dBm", p)
+	}
+}
+
+func TestCompositeModelWithFading(t *testing.T) {
+	m := NewModel(FixedLoss{DB: 50}, NewShadowing(rng.New(9), 4), NewRayleigh(rng.New(10), sim.Millisecond))
+	// With fading the power varies around -30 dBm.
+	var min, max units.DBm = 1000, -1000
+	for i := 0; i < 200; i++ {
+		p := m.RxPower(20, geom.Pt(0, 0), geom.Pt(10, 0), uint64(i), sim.Time(i)*sim.Time(sim.Millisecond))
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if min >= -30 || max <= -30 {
+		t.Errorf("fading did not straddle the deterministic level: min=%v max=%v", min, max)
+	}
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("n = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of that set is 32/7.
+	if math.Abs(w.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.CI95() != 0 {
+		t.Error("empty accumulator not zero")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.Variance() != 0 || w.CI95() != 0 {
+		t.Error("single observation stats wrong")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	if err := quick.Check(func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range raw {
+			w.Add(float64(x))
+			sum += float64(x)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, x := range raw {
+			ss += (float64(x) - mean) * (float64(x) - mean)
+		}
+		naiveVar := ss / float64(len(raw)-1)
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Variance()-naiveVar) < 1e-4*math.Max(1, naiveVar)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	ci := func(n int) float64 {
+		var w Welford
+		for i := 0; i < n; i++ {
+			w.Add(float64(i % 10))
+		}
+		return w.CI95()
+	}
+	if !(ci(1000) < ci(100) && ci(100) < ci(10)) {
+		t.Errorf("CI does not shrink: %v %v %v", ci(10), ci(100), ci(1000))
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := h.Median(); math.Abs(q-50.5) > 1e-9 {
+		t.Errorf("median = %v, want 50.5", q)
+	}
+	if q := h.Quantile(0.99); q < 99 || q > 100 {
+		t.Errorf("p99 = %v", q)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+}
+
+func TestHistogramUnsortedInput(t *testing.T) {
+	var h Histogram
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		h.Add(x)
+	}
+	if h.Median() != 3 {
+		t.Errorf("median = %v", h.Median())
+	}
+	// Adding after a query re-sorts.
+	h.Add(0)
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("q0 after re-add = %v", q)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{1, 1, 1, 1}); math.Abs(j-1) > 1e-12 {
+		t.Errorf("equal shares: %v", j)
+	}
+	if j := JainIndex([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Errorf("monopoly of 4: %v, want 0.25", j)
+	}
+	if j := JainIndex(nil); j != 0 {
+		t.Errorf("empty: %v", j)
+	}
+	if j := JainIndex([]float64{0, 0}); j != 1 {
+		t.Errorf("all-zero: %v", j)
+	}
+}
+
+func TestJainIndexBounds(t *testing.T) {
+	if err := quick.Check(func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			xs[i] = float64(x)
+		}
+		j := JainIndex(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T1: demo", "n", "throughput")
+	tb.AddRow("1", "5.12")
+	tb.AddRow("10", "3.80")
+	tb.Note = "numbers are Mbit/s"
+	out := tb.Render()
+	for _, want := range []string{"T1: demo", "n", "throughput", "5.12", "3.80", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, sep, 2 rows, note
+		t.Errorf("render has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("1,5", "2")
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("csv header: %q", csv)
+	}
+	if !strings.Contains(csv, "1;5,2") {
+		t.Errorf("comma escaping: %q", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := F(3.14159, 2); got != "3.14" {
+		t.Errorf("F = %q", got)
+	}
+	if got := Mbps(5.5e6); got != "5.50" {
+		t.Errorf("Mbps = %q", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package trace provides frame-level event tracing: a pluggable Tracer
+// interface with human-readable text, JSON-lines and counting
+// implementations. The medium emits one event per transmission and per
+// reception outcome, which is enough to reconstruct every exchange.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind string
+
+// Event kinds.
+const (
+	KindTx    Kind = "tx"     // a radio started transmitting
+	KindRxOK  Kind = "rx-ok"  // a radio decoded a frame
+	KindRxErr Kind = "rx-err" // a locked frame failed its FCS
+	KindMgmt  Kind = "mgmt"   // management-plane state change
+	KindRoam  Kind = "roam"   // station switched APs
+	KindPS    Kind = "ps"     // power-save transition
+)
+
+// Event is one trace record.
+type Event struct {
+	At     sim.Time
+	Node   string
+	Kind   Kind
+	Frame  *frame.Frame // nil for non-frame events
+	Detail string
+}
+
+// Tracer consumes events.
+type Tracer interface {
+	Trace(ev Event)
+}
+
+// Nop discards everything.
+type Nop struct{}
+
+// Trace implements Tracer.
+func (Nop) Trace(Event) {}
+
+// Text writes one human-readable line per event.
+type Text struct {
+	W io.Writer
+}
+
+// Trace implements Tracer.
+func (t Text) Trace(ev Event) {
+	if t.W == nil {
+		return
+	}
+	if ev.Frame != nil {
+		fmt.Fprintf(t.W, "%12s %-10s %-6s %s %s\n", ev.At, ev.Node, ev.Kind, ev.Frame, ev.Detail)
+	} else {
+		fmt.Fprintf(t.W, "%12s %-10s %-6s %s\n", ev.At, ev.Node, ev.Kind, ev.Detail)
+	}
+}
+
+// jsonEvent is the serialized form of an Event.
+type jsonEvent struct {
+	AtNs   int64  `json:"at_ns"`
+	Node   string `json:"node"`
+	Kind   string `json:"kind"`
+	Type   string `json:"type,omitempty"`
+	RA     string `json:"ra,omitempty"`
+	TA     string `json:"ta,omitempty"`
+	Seq    uint16 `json:"seq,omitempty"`
+	Len    int    `json:"len,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// JSONL writes one JSON object per line, suitable for offline analysis and
+// the wlantrace tool.
+type JSONL struct {
+	W io.Writer
+}
+
+// Trace implements Tracer.
+func (j JSONL) Trace(ev Event) {
+	if j.W == nil {
+		return
+	}
+	je := jsonEvent{AtNs: int64(ev.At), Node: ev.Node, Kind: string(ev.Kind), Detail: ev.Detail}
+	if f := ev.Frame; f != nil {
+		je.Type = frame.Name(f.Type, f.Subtype)
+		je.RA = f.Addr1.String()
+		je.TA = f.Addr2.String()
+		je.Seq = f.Seq
+		je.Len = f.WireLen()
+	}
+	b, err := json.Marshal(je)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	_, _ = j.W.Write(b)
+}
+
+// ParseJSONL decodes one line produced by JSONL (for wlantrace).
+func ParseJSONL(line []byte) (map[string]any, error) {
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Counter tallies events by kind; useful in tests and quick summaries.
+type Counter struct {
+	Counts map[Kind]uint64
+}
+
+// NewCounter builds an empty counter.
+func NewCounter() *Counter { return &Counter{Counts: make(map[Kind]uint64)} }
+
+// Trace implements Tracer.
+func (c *Counter) Trace(ev Event) { c.Counts[ev.Kind]++ }
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Trace implements Tracer.
+func (m Multi) Trace(ev Event) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}

@@ -1,0 +1,302 @@
+// Package traffic provides workload generators (CBR, Poisson, on/off,
+// saturating backlog) and a measurement sink. Generated payloads carry a
+// small header (flow ID, sequence number, departure timestamp) so the sink
+// can compute per-flow goodput, delivery ratio, loss and latency without
+// any side channel — exactly the way testbed tools like iperf do it.
+package traffic
+
+import (
+	"encoding/binary"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// HeaderLen is the measurement header size inside each payload.
+const HeaderLen = 20
+
+// Header is the measurement preamble of every generated payload.
+type Header struct {
+	FlowID uint32
+	Seq    uint64
+	SentAt sim.Time
+}
+
+// EncodeHeader writes the header into a payload buffer of at least
+// HeaderLen bytes.
+func EncodeHeader(buf []byte, h Header) {
+	binary.LittleEndian.PutUint32(buf[0:4], h.FlowID)
+	binary.LittleEndian.PutUint64(buf[4:12], h.Seq)
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(h.SentAt))
+}
+
+// DecodeHeader reads the measurement header back. ok is false for payloads
+// that are too short to carry one.
+func DecodeHeader(buf []byte) (h Header, ok bool) {
+	if len(buf) < HeaderLen {
+		return Header{}, false
+	}
+	h.FlowID = binary.LittleEndian.Uint32(buf[0:4])
+	h.Seq = binary.LittleEndian.Uint64(buf[4:12])
+	h.SentAt = sim.Time(binary.LittleEndian.Uint64(buf[12:20]))
+	return h, true
+}
+
+// SendFunc submits one payload to the network; it returns false when the
+// transmit queue rejected it (generator counts it as an offered-but-dropped
+// packet).
+type SendFunc func(payload []byte) bool
+
+// Generator is a running traffic source.
+type Generator struct {
+	k      *sim.Kernel
+	flowID uint32
+	size   int
+	send   SendFunc
+
+	// next returns the gap to the next packet; nil means "saturate".
+	next func() sim.Duration
+
+	// Saturation support.
+	saturate bool
+	topUp    sim.Duration
+	burst    int
+
+	seq     uint64
+	Offered uint64 // packets handed to send
+	Refused uint64 // packets send() rejected
+	stopped bool
+}
+
+// Stop halts the generator after the current event.
+func (g *Generator) Stop() { g.stopped = true }
+
+// Sent returns the number of accepted packets.
+func (g *Generator) Sent() uint64 { return g.Offered - g.Refused }
+
+func (g *Generator) emit() bool {
+	payload := make([]byte, g.size)
+	EncodeHeader(payload, Header{FlowID: g.flowID, Seq: g.seq, SentAt: g.k.Now()})
+	g.seq++
+	g.Offered++
+	if !g.send(payload) {
+		g.Refused++
+		return false
+	}
+	return true
+}
+
+func (g *Generator) run() {
+	if g.stopped {
+		return
+	}
+	g.emit()
+	gap := g.next()
+	if gap < 0 {
+		gap = 0
+	}
+	g.k.Schedule(gap, "traffic", g.run)
+}
+
+func (g *Generator) runSaturate() {
+	if g.stopped {
+		return
+	}
+	// Keep the queue topped up: push until refused, then check back soon.
+	for i := 0; i < g.burst; i++ {
+		if !g.emit() {
+			break
+		}
+	}
+	g.k.Schedule(g.topUp, "traffic-sat", g.runSaturate)
+}
+
+// start begins generation at t=now (first packet immediately).
+func (g *Generator) start() {
+	if g.saturate {
+		g.k.Schedule(0, "traffic-sat", g.runSaturate)
+		return
+	}
+	g.k.Schedule(0, "traffic", g.run)
+}
+
+// NewCBR starts a constant-bit-rate source: size-byte payloads every
+// interval.
+func NewCBR(k *sim.Kernel, flowID uint32, size int, interval sim.Duration, send SendFunc) *Generator {
+	if size < HeaderLen {
+		size = HeaderLen
+	}
+	g := &Generator{k: k, flowID: flowID, size: size, send: send}
+	g.next = func() sim.Duration { return interval }
+	g.start()
+	return g
+}
+
+// NewPoisson starts a Poisson source with mean rate pktPerSec.
+func NewPoisson(k *sim.Kernel, flowID uint32, size int, pktPerSec float64, src *rng.Source, send SendFunc) *Generator {
+	if size < HeaderLen {
+		size = HeaderLen
+	}
+	g := &Generator{k: k, flowID: flowID, size: size, send: send}
+	exp := src.Split("poisson")
+	g.next = func() sim.Duration {
+		return sim.Duration(exp.ExpFloat64() / pktPerSec * float64(sim.Second))
+	}
+	g.start()
+	return g
+}
+
+// NewOnOff starts an exponential on/off source: during on periods it emits
+// CBR at the given interval; on/off durations are exponential with the
+// given means.
+func NewOnOff(k *sim.Kernel, flowID uint32, size int, interval, meanOn, meanOff sim.Duration, src *rng.Source, send SendFunc) *Generator {
+	if size < HeaderLen {
+		size = HeaderLen
+	}
+	g := &Generator{k: k, flowID: flowID, size: size, send: send}
+	exp := src.Split("onoff")
+	var onUntil sim.Time
+	g.next = func() sim.Duration {
+		now := k.Now()
+		if now < onUntil {
+			return interval
+		}
+		// Off period, then a new on period.
+		off := sim.Duration(exp.ExpFloat64() * float64(meanOff))
+		on := sim.Duration(exp.ExpFloat64() * float64(meanOn))
+		onUntil = now.Add(off + on)
+		return off
+	}
+	onUntil = k.Now().Add(sim.Duration(exp.ExpFloat64() * float64(meanOn)))
+	g.start()
+	return g
+}
+
+// NewSaturator starts a source that keeps the MAC queue backlogged: it
+// pushes packets until the queue refuses, then tops up every topUp (default
+// 1 ms).
+func NewSaturator(k *sim.Kernel, flowID uint32, size int, send SendFunc) *Generator {
+	if size < HeaderLen {
+		size = HeaderLen
+	}
+	g := &Generator{k: k, flowID: flowID, size: size, send: send,
+		saturate: true, topUp: sim.Millisecond, burst: 512}
+	g.start()
+	return g
+}
+
+// FlowStats aggregates what the sink observed for one flow.
+type FlowStats struct {
+	Received   uint64
+	Bytes      uint64
+	Latency    stats.Welford
+	LatencyH   stats.Histogram
+	MaxSeq     uint64
+	OutOfOrder uint64
+	Duplicates uint64
+	seen       map[uint64]bool
+	FirstRxAt  sim.Time
+	LastRxAt   sim.Time
+	// MaxGap is the longest silence between consecutive arrivals —
+	// the outage metric for roaming experiments.
+	MaxGap sim.Duration
+}
+
+// LossRatio estimates loss from sequence-number gaps: 1 - received/(maxSeq+1).
+func (f *FlowStats) LossRatio() float64 {
+	if f.Received == 0 {
+		return 1
+	}
+	expected := float64(f.MaxSeq + 1)
+	return 1 - float64(f.Received)/expected
+}
+
+// ThroughputBps returns goodput measured between the first and last
+// arrival.
+func (f *FlowStats) ThroughputBps() float64 {
+	span := f.LastRxAt.Sub(f.FirstRxAt)
+	if span <= 0 {
+		return 0
+	}
+	return float64(f.Bytes*8) / span.Seconds()
+}
+
+// Sink consumes delivered payloads and accumulates per-flow statistics.
+type Sink struct {
+	k     *sim.Kernel
+	flows map[uint32]*FlowStats
+	// Unparsed counts payloads without a measurement header.
+	Unparsed uint64
+}
+
+// NewSink builds an empty sink.
+func NewSink(k *sim.Kernel) *Sink {
+	return &Sink{k: k, flows: make(map[uint32]*FlowStats)}
+}
+
+// Deliver ingests one received payload.
+func (s *Sink) Deliver(payload []byte) {
+	h, ok := DecodeHeader(payload)
+	if !ok {
+		s.Unparsed++
+		return
+	}
+	f := s.flows[h.FlowID]
+	if f == nil {
+		f = &FlowStats{seen: make(map[uint64]bool), FirstRxAt: s.k.Now()}
+		s.flows[h.FlowID] = f
+	}
+	if f.seen[h.Seq] {
+		f.Duplicates++
+		return
+	}
+	f.seen[h.Seq] = true
+	if h.Seq < f.MaxSeq {
+		f.OutOfOrder++
+	}
+	if h.Seq > f.MaxSeq {
+		f.MaxSeq = h.Seq
+	}
+	f.Received++
+	f.Bytes += uint64(len(payload))
+	if f.Received > 1 {
+		if gap := s.k.Now().Sub(f.LastRxAt); gap > f.MaxGap {
+			f.MaxGap = gap
+		}
+	}
+	f.LastRxAt = s.k.Now()
+	lat := s.k.Now().Sub(h.SentAt).Seconds()
+	f.Latency.Add(lat)
+	f.LatencyH.Add(lat)
+}
+
+// Flow returns stats for a flow ID (nil if nothing arrived).
+func (s *Sink) Flow(id uint32) *FlowStats { return s.flows[id] }
+
+// Flows returns all flow IDs observed.
+func (s *Sink) Flows() []uint32 {
+	ids := make([]uint32, 0, len(s.flows))
+	for id := range s.flows {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// TotalReceived sums packet counts over flows.
+func (s *Sink) TotalReceived() uint64 {
+	var n uint64
+	for _, f := range s.flows {
+		n += f.Received
+	}
+	return n
+}
+
+// TotalBytes sums payload bytes over flows.
+func (s *Sink) TotalBytes() uint64 {
+	var n uint64
+	for _, f := range s.flows {
+		n += f.Bytes
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+// Package units holds the physical-unit helpers shared by the PHY and
+// propagation layers: decibel/linear power conversion, frequencies, data
+// rates and a few constants of nature. Keeping these in one place avoids a
+// zoo of ad-hoc math.Pow(10, x/10) calls with inconsistent reference levels.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpeedOfLight is the propagation speed used for delay and wavelength
+// computations, in metres per second.
+const SpeedOfLight = 299_792_458.0
+
+// BoltzmannConstant in joules per kelvin, used for thermal-noise floors.
+const BoltzmannConstant = 1.380649e-23
+
+// RoomTemperatureK is the reference temperature for noise computations.
+const RoomTemperatureK = 290.0
+
+// DBm is a power level in decibel-milliwatts.
+type DBm float64
+
+// DB is a dimensionless ratio in decibels (gains, losses, SNR).
+type DB float64
+
+// MilliWatt converts a dBm level to linear milliwatts.
+func (p DBm) MilliWatt() float64 { return math.Pow(10, float64(p)/10) }
+
+// Watt converts a dBm level to linear watts.
+func (p DBm) Watt() float64 { return p.MilliWatt() / 1000 }
+
+// Add applies a gain (or loss, when negative) to a power level.
+func (p DBm) Add(g DB) DBm { return p + DBm(g) }
+
+// Sub returns the ratio between two power levels as a gain in dB.
+func (p DBm) Sub(q DBm) DB { return DB(p - q) }
+
+func (p DBm) String() string { return fmt.Sprintf("%.1f dBm", float64(p)) }
+
+func (g DB) String() string { return fmt.Sprintf("%.1f dB", float64(g)) }
+
+// Linear converts a dB ratio to a linear ratio.
+func (g DB) Linear() float64 { return math.Pow(10, float64(g)/10) }
+
+// DBmFromMilliWatt converts linear milliwatts to dBm. Zero or negative
+// input maps to -infinity dBm, which the callers treat as "no signal".
+func DBmFromMilliWatt(mw float64) DBm {
+	if mw <= 0 {
+		return DBm(math.Inf(-1))
+	}
+	return DBm(10 * math.Log10(mw))
+}
+
+// DBmFromWatt converts linear watts to dBm.
+func DBmFromWatt(w float64) DBm { return DBmFromMilliWatt(w * 1000) }
+
+// DBFromLinear converts a linear ratio to dB.
+func DBFromLinear(r float64) DB {
+	if r <= 0 {
+		return DB(math.Inf(-1))
+	}
+	return DB(10 * math.Log10(r))
+}
+
+// SumPowerDBm adds power levels in the linear domain and returns the total.
+// Summing in dB is a classic bug; interference accumulation must go through
+// this helper.
+func SumPowerDBm(levels ...DBm) DBm {
+	var mw float64
+	for _, l := range levels {
+		if !math.IsInf(float64(l), -1) {
+			mw += l.MilliWatt()
+		}
+	}
+	return DBmFromMilliWatt(mw)
+}
+
+// Hertz is a frequency.
+type Hertz float64
+
+const (
+	KHz Hertz = 1e3
+	MHz Hertz = 1e6
+	GHz Hertz = 1e9
+)
+
+// Wavelength returns the free-space wavelength in metres.
+func (f Hertz) Wavelength() float64 { return SpeedOfLight / float64(f) }
+
+func (f Hertz) String() string {
+	switch {
+	case f >= GHz:
+		return fmt.Sprintf("%.3f GHz", float64(f/GHz))
+	case f >= MHz:
+		return fmt.Sprintf("%.1f MHz", float64(f/MHz))
+	case f >= KHz:
+		return fmt.Sprintf("%.1f kHz", float64(f/KHz))
+	}
+	return fmt.Sprintf("%.0f Hz", float64(f))
+}
+
+// BitRate is a data rate in bits per second.
+type BitRate float64
+
+const (
+	Kbps BitRate = 1e3
+	Mbps BitRate = 1e6
+	Gbps BitRate = 1e9
+)
+
+func (r BitRate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.2f Gbit/s", float64(r/Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%g Mbit/s", float64(r/Mbps))
+	case r >= Kbps:
+		return fmt.Sprintf("%g kbit/s", float64(r/Kbps))
+	}
+	return fmt.Sprintf("%.0f bit/s", float64(r))
+}
+
+// ThermalNoiseDBm returns the thermal noise floor (kTB) for the given
+// bandwidth at room temperature, in dBm. For 20 MHz this is about -101 dBm.
+func ThermalNoiseDBm(bandwidth Hertz) DBm {
+	watts := BoltzmannConstant * RoomTemperatureK * float64(bandwidth)
+	return DBmFromWatt(watts)
+}

@@ -1,0 +1,148 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDBmMilliWattKnownValues(t *testing.T) {
+	cases := []struct {
+		dbm DBm
+		mw  float64
+	}{
+		{0, 1},
+		{10, 10},
+		{20, 100},
+		{-10, 0.1},
+		{30, 1000},
+		{-30, 0.001},
+	}
+	for _, c := range cases {
+		if got := c.dbm.MilliWatt(); !almostEqual(got, c.mw, 1e-9*c.mw) {
+			t.Errorf("%v.MilliWatt() = %v, want %v", c.dbm, got, c.mw)
+		}
+	}
+}
+
+func TestDBmRoundTrip(t *testing.T) {
+	if err := quick.Check(func(raw int16) bool {
+		dbm := DBm(float64(raw) / 100) // -327.68 .. 327.67 dBm
+		back := DBmFromMilliWatt(dbm.MilliWatt())
+		return almostEqual(float64(back), float64(dbm), 1e-6)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBmFromMilliWattNonPositive(t *testing.T) {
+	if v := DBmFromMilliWatt(0); !math.IsInf(float64(v), -1) {
+		t.Errorf("DBmFromMilliWatt(0) = %v, want -Inf", v)
+	}
+	if v := DBmFromMilliWatt(-1); !math.IsInf(float64(v), -1) {
+		t.Errorf("DBmFromMilliWatt(-1) = %v, want -Inf", v)
+	}
+}
+
+func TestSumPowerDBm(t *testing.T) {
+	// Two equal powers sum to +3 dB.
+	got := SumPowerDBm(DBm(0), DBm(0))
+	if !almostEqual(float64(got), 3.0103, 1e-3) {
+		t.Errorf("0 dBm + 0 dBm = %v, want ~3.01 dBm", got)
+	}
+	// Summing with -Inf is identity.
+	got = SumPowerDBm(DBm(-40), DBm(math.Inf(-1)))
+	if !almostEqual(float64(got), -40, 1e-9) {
+		t.Errorf("-40 dBm + (-Inf) = %v, want -40 dBm", got)
+	}
+	// Empty sum is no signal.
+	if v := SumPowerDBm(); !math.IsInf(float64(v), -1) {
+		t.Errorf("empty SumPowerDBm = %v, want -Inf", v)
+	}
+}
+
+func TestSumPowerDominance(t *testing.T) {
+	// A signal 30 dB above another barely moves the sum.
+	got := SumPowerDBm(DBm(0), DBm(-30))
+	if float64(got) < 0 || float64(got) > 0.01 {
+		t.Errorf("0 dBm + -30 dBm = %v, want within (0, 0.01] dBm", got)
+	}
+}
+
+func TestDBLinear(t *testing.T) {
+	if got := DB(3).Linear(); !almostEqual(got, 1.9953, 1e-3) {
+		t.Errorf("3 dB linear = %v, want ~1.995", got)
+	}
+	if got := DBFromLinear(2); !almostEqual(float64(got), 3.0103, 1e-3) {
+		t.Errorf("linear 2 = %v dB, want ~3.01", got)
+	}
+	if got := DBFromLinear(0); !math.IsInf(float64(got), -1) {
+		t.Errorf("linear 0 = %v, want -Inf", got)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	p := DBm(-40).Add(DB(10))
+	if p != DBm(-30) {
+		t.Errorf("-40 dBm + 10 dB = %v, want -30 dBm", p)
+	}
+	if g := DBm(-30).Sub(DBm(-90)); g != DB(60) {
+		t.Errorf("(-30)-(-90) = %v, want 60 dB", g)
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	wl := (2_400 * MHz).Wavelength()
+	if !almostEqual(wl, 0.1249, 1e-3) {
+		t.Errorf("2.4 GHz wavelength = %v m, want ~0.125 m", wl)
+	}
+	wl5 := (5_000 * MHz).Wavelength()
+	if wl5 >= wl {
+		t.Errorf("5 GHz wavelength %v should be shorter than 2.4 GHz %v", wl5, wl)
+	}
+}
+
+func TestThermalNoise(t *testing.T) {
+	// kTB for 20 MHz at 290 K is about -100.9 dBm.
+	n := ThermalNoiseDBm(20 * MHz)
+	if float64(n) < -101.5 || float64(n) > -100.5 {
+		t.Errorf("thermal noise for 20 MHz = %v, want ~-101 dBm", n)
+	}
+	// Wider bandwidth means more noise.
+	if ThermalNoiseDBm(40*MHz) <= n {
+		t.Error("40 MHz noise floor should exceed 20 MHz")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		s    interface{ String() string }
+		want string
+	}{
+		{DBm(-82), "-82.0 dBm"},
+		{DB(10), "10.0 dB"},
+		{2_400 * MHz, "2.400 GHz"},
+		{20 * MHz, "20.0 MHz"},
+		{11 * Mbps, "11 Mbit/s"},
+		{BitRate(1.3 * float64(Gbps)), "1.30 Gbit/s"},
+		{250 * Kbps, "250 kbit/s"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSumPowerCommutative(t *testing.T) {
+	if err := quick.Check(func(a, b int8) bool {
+		x, y := DBm(a), DBm(b)
+		s1 := SumPowerDBm(x, y)
+		s2 := SumPowerDBm(y, x)
+		return almostEqual(float64(s1), float64(s2), 1e-9)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package wep implements the 802.11 link-privacy generations the supplied
+// survey text walks through: WEP (from-scratch RC4 with a 24-bit IV and a
+// CRC-32 ICV) and a CCMP-style AES-CCM envelope (the WPA2 mandatory mode),
+// plus an executable demonstration of WEP's classic bit-flipping integrity
+// failure — the linearity of CRC-32 under XOR lets an attacker modify
+// ciphertext and fix up the ICV without knowing the key.
+//
+// RC4 is implemented locally (≈30 lines) rather than importing the
+// deprecated crypto/rc4, keeping the repository's security-analysis surface
+// self-contained.
+package wep
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// IV is the 24-bit WEP initialisation vector.
+type IV [3]byte
+
+// Overhead constants.
+const (
+	IVHeaderLen = 4 // IV (3) + key ID (1)
+	ICVLen      = 4
+)
+
+// rc4State is a minimal RC4 keystream generator.
+type rc4State struct {
+	s    [256]byte
+	i, j uint8
+}
+
+func newRC4(key []byte) *rc4State {
+	var st rc4State
+	for i := 0; i < 256; i++ {
+		st.s[i] = byte(i)
+	}
+	var j uint8
+	for i := 0; i < 256; i++ {
+		j += st.s[i] + key[i%len(key)]
+		st.s[i], st.s[j] = st.s[j], st.s[i]
+	}
+	return &st
+}
+
+// xorKeyStream XORs src with the keystream into dst (may alias).
+func (st *rc4State) xorKeyStream(dst, src []byte) {
+	for k := range src {
+		st.i++
+		st.j += st.s[st.i]
+		st.s[st.i], st.s[st.j] = st.s[st.j], st.s[st.i]
+		dst[k] = src[k] ^ st.s[st.s[st.i]+st.s[st.j]]
+	}
+}
+
+// Key is a WEP key: 5 bytes (WEP-40) or 13 bytes (WEP-104).
+type Key []byte
+
+// Validate checks the key length.
+func (k Key) Validate() error {
+	if len(k) != 5 && len(k) != 13 {
+		return fmt.Errorf("wep: key must be 5 or 13 bytes, got %d", len(k))
+	}
+	return nil
+}
+
+// Seal encrypts a plaintext MPDU body: output is IV header ‖ RC4(body ‖ ICV).
+func Seal(key Key, iv IV, keyID byte, plaintext []byte) ([]byte, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	// Per-packet RC4 key: IV ‖ key (the design flaw FMS exploited).
+	seed := make([]byte, 0, 3+len(key))
+	seed = append(seed, iv[:]...)
+	seed = append(seed, key...)
+
+	icv := crc32.ChecksumIEEE(plaintext)
+	work := make([]byte, len(plaintext)+ICVLen)
+	copy(work, plaintext)
+	binary.LittleEndian.PutUint32(work[len(plaintext):], icv)
+
+	newRC4(seed).xorKeyStream(work, work)
+
+	out := make([]byte, 0, IVHeaderLen+len(work))
+	out = append(out, iv[0], iv[1], iv[2], keyID&0x03<<6)
+	return append(out, work...), nil
+}
+
+// Integrity and format errors.
+var (
+	ErrTooShort = errors.New("wep: body too short")
+	ErrICV      = errors.New("wep: ICV mismatch")
+)
+
+// Open decrypts a WEP body and verifies the ICV.
+func Open(key Key, body []byte) ([]byte, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if len(body) < IVHeaderLen+ICVLen {
+		return nil, ErrTooShort
+	}
+	var iv IV
+	copy(iv[:], body[:3])
+	seed := make([]byte, 0, 3+len(key))
+	seed = append(seed, iv[:]...)
+	seed = append(seed, key...)
+
+	work := make([]byte, len(body)-IVHeaderLen)
+	copy(work, body[IVHeaderLen:])
+	newRC4(seed).xorKeyStream(work, work)
+
+	plain := work[:len(work)-ICVLen]
+	wantICV := binary.LittleEndian.Uint32(work[len(plain):])
+	if crc32.ChecksumIEEE(plain) != wantICV {
+		return nil, ErrICV
+	}
+	return plain, nil
+}
+
+// IVCounter hands out sequential IVs — the common (and weakest) sender
+// behaviour; after 2^24 frames IVs repeat, enabling keystream reuse attacks.
+type IVCounter struct {
+	n uint32
+}
+
+// Next returns the next IV.
+func (c *IVCounter) Next() IV {
+	v := c.n
+	c.n = (c.n + 1) & 0x00ffffff
+	return IV{byte(v), byte(v >> 8), byte(v >> 16)}
+}
+
+// BitFlip demonstrates WEP's integrity failure: given only a sealed body
+// and a plaintext XOR mask, it returns a new valid sealed body whose
+// decryption is plaintext⊕mask. CRC-32 is linear over GF(2):
+// crc(a⊕b) = crc(a) ⊕ crc(b) ⊕ crc(0), so the attacker XORs the mask into
+// the ciphertext and patches the encrypted ICV with crc(mask)⊕crc(0) — no
+// key required.
+func BitFlip(sealed []byte, mask []byte) ([]byte, error) {
+	if len(sealed) < IVHeaderLen+ICVLen {
+		return nil, ErrTooShort
+	}
+	ctLen := len(sealed) - IVHeaderLen - ICVLen
+	if len(mask) > ctLen {
+		return nil, fmt.Errorf("wep: mask longer than plaintext (%d > %d)", len(mask), ctLen)
+	}
+	out := append([]byte(nil), sealed...)
+	// Flip ciphertext bits: RC4 is a stream cipher, so ct⊕mask decrypts to
+	// pt⊕mask.
+	for i, b := range mask {
+		out[IVHeaderLen+i] ^= b
+	}
+	// Patch the ICV. With mask extended by zeros to the plaintext length:
+	// crc(pt⊕mask) = crc(pt) ⊕ crc(mask) ⊕ crc(zeros).
+	full := make([]byte, ctLen)
+	copy(full, mask)
+	delta := crc32.ChecksumIEEE(full) ^ crc32.ChecksumIEEE(make([]byte, ctLen))
+	icvOff := IVHeaderLen + ctLen
+	oldICV := binary.LittleEndian.Uint32(out[icvOff:])
+	binary.LittleEndian.PutUint32(out[icvOff:], oldICV^delta)
+	return out, nil
+}
