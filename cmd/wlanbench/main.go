@@ -1,0 +1,170 @@
+// Command wlanbench measures the evaluation suite's performance and emits a
+// machine-readable JSON report: per-experiment wall time, allocations and
+// simulator event throughput. Successive PRs regenerate the report (CI runs
+// it on every push) so the perf trajectory of the hot paths stays visible.
+//
+// Usage:
+//
+//	wlanbench [-ids F1,F2] [-runs 3] [-full] [-workers N] \
+//	          [-baseline old.json] [-out BENCH_PR1.json]
+//
+// With -baseline, the report embeds the older report and per-experiment
+// speedup factors, which is how BENCH_PR1.json records the pre-PR seed
+// numbers next to the current ones.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// ExpResult is one experiment's measurement.
+type ExpResult struct {
+	ID           string  `json:"id"`
+	Title        string  `json:"title,omitempty"`
+	Runs         int     `json:"runs"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Rows         int     `json:"rows"`
+	// Versus the baseline report, when one was supplied.
+	SpeedupNs     float64 `json:"speedup_ns,omitempty"`
+	AllocsRatio   float64 `json:"allocs_ratio,omitempty"`
+	BaseNsPerOp   int64   `json:"baseline_ns_per_op,omitempty"`
+	BaseAllocsPer uint64  `json:"baseline_allocs_per_op,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	GoVersion   string      `json:"go_version"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Workers     int         `json:"workers"`
+	Quick       bool        `json:"quick"`
+	Experiments []ExpResult `json:"experiments"`
+	Baseline    *Report     `json:"baseline,omitempty"`
+	Notes       []string    `json:"notes,omitempty"`
+}
+
+func main() {
+	ids := flag.String("ids", "", "comma-separated experiment IDs (default: all)")
+	runs := flag.Int("runs", 3, "measured runs per experiment")
+	full := flag.Bool("full", false, "run full (non-quick) experiment variants")
+	workers := flag.Int("workers", 0, "harness worker pool size (0 = GOMAXPROCS)")
+	baseline := flag.String("baseline", "", "older report to embed and compare against")
+	out := flag.String("out", "BENCH_PR1.json", "output path (- for stdout)")
+	flag.Parse()
+
+	harness.Workers = *workers
+
+	var exps []*harness.Experiment
+	if *ids == "" {
+		exps = harness.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			e := harness.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "wlanbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		Quick:      !*full,
+	}
+
+	var base *Report
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlanbench: %v\n", err)
+			os.Exit(1)
+		}
+		base = &Report{}
+		if err := json.Unmarshal(raw, base); err != nil {
+			fmt.Fprintf(os.Stderr, "wlanbench: parse %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		rep.Baseline = base
+	}
+
+	for _, e := range exps {
+		r := measure(e, *runs, !*full)
+		if base != nil {
+			for _, b := range base.Experiments {
+				if b.ID == r.ID && r.NsPerOp > 0 && b.NsPerOp > 0 {
+					r.BaseNsPerOp = b.NsPerOp
+					r.BaseAllocsPer = b.AllocsPerOp
+					r.SpeedupNs = round2(float64(b.NsPerOp) / float64(r.NsPerOp))
+					if b.AllocsPerOp > 0 {
+						r.AllocsRatio = round2(float64(r.AllocsPerOp) / float64(b.AllocsPerOp))
+					}
+				}
+			}
+		}
+		rep.Experiments = append(rep.Experiments, r)
+		fmt.Fprintf(os.Stderr, "%-4s %12d ns/op %10d allocs/op %12.0f events/s\n",
+			r.ID, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "wlanbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// measure times runs executions of e, reporting per-op means and the
+// simulator event throughput over the measured window.
+func measure(e *harness.Experiment, runs int, quick bool) ExpResult {
+	e.Run(quick) // warm-up: page in code paths, grow pools
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	evBefore := core.SimEvents()
+	rows := 0
+	t0 := time.Now()
+	for i := 0; i < runs; i++ {
+		rows = len(e.Run(quick).Rows)
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&msAfter)
+	events := core.SimEvents() - evBefore
+
+	return ExpResult{
+		ID:           e.ID,
+		Title:        e.Title,
+		Runs:         runs,
+		NsPerOp:      wall.Nanoseconds() / int64(runs),
+		AllocsPerOp:  (msAfter.Mallocs - msBefore.Mallocs) / uint64(runs),
+		BytesPerOp:   (msAfter.TotalAlloc - msBefore.TotalAlloc) / uint64(runs),
+		Events:       events,
+		EventsPerSec: round2(float64(events) / wall.Seconds()),
+		Rows:         rows,
+	}
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

@@ -9,5 +9,26 @@
 // Start with the README, DESIGN.md (system inventory and the paper-mismatch
 // note) and EXPERIMENTS.md (expected-vs-measured for every table/figure).
 // The public scenario API lives in internal/core; the runnable entry points
-// are cmd/wlansim, cmd/experiments, cmd/wlantrace and the examples tree.
+// are cmd/wlansim, cmd/experiments, cmd/wlantrace, cmd/wlanbench and the
+// examples tree.
+//
+// # Performance architecture
+//
+// The simulator is built around two hot loops — the event kernel and the
+// medium's transmission fan-out — and both run allocation-free in steady
+// state (see PERFORMANCE.md for measurements and BENCH_PR1.json for the
+// tracked trajectory):
+//
+//   - internal/sim pools Event objects on a free list behind
+//     generation-checked Timer handles, keeps the queue as an inlined
+//     4-ary heap specialized to *Event, and reaps cancelled events lazily
+//     in bulk. ScheduleArg gives hot callers closure-free scheduling.
+//   - internal/medium pools transmissions and arrivals, caches per-link
+//     gain and propagation delay for static radio pairs (invalidated on
+//     movement), prunes fan-out through per-radio neighbor lists, reuses
+//     wire buffers, decodes each transmission once per fan-out, and
+//     memoizes the PHY chunk-error model.
+//   - internal/harness runs each experiment's independent scenario points
+//     on a bounded worker pool (GOMAXPROCS workers) with row order — and
+//     therefore output — bit-identical to sequential execution.
 package repro

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ether"
 	"repro/internal/frame"
@@ -454,10 +455,21 @@ func (n *Network) Generators() []*traffic.Generator { return n.gens }
 
 // --- running and results -----------------------------------------------------
 
+// simEvents counts kernel events executed by every Network.Run across the
+// process, including runs on harness worker goroutines. Benchmarks and
+// cmd/wlanbench read deltas of this counter to report events/sec.
+var simEvents atomic.Uint64
+
+// SimEvents returns the total number of simulation events processed by all
+// networks since process start.
+func SimEvents() uint64 { return simEvents.Load() }
+
 // Run advances the scenario by d of virtual time.
 func (n *Network) Run(d sim.Duration) {
+	before := n.kernel.Processed()
 	n.kernel.RunFor(d)
 	n.ran += d
+	simEvents.Add(n.kernel.Processed() - before)
 }
 
 // Elapsed returns total virtual time run so far.

@@ -279,7 +279,14 @@ func (f *Frame) setFrameControl(b0, b1 byte) error {
 // Marshal serialises the frame to its wire layout and appends the computed
 // FCS.
 func (f *Frame) Marshal() []byte {
-	buf := make([]byte, 0, f.WireLen())
+	return f.AppendWire(make([]byte, 0, f.WireLen()))
+}
+
+// AppendWire serialises the frame onto buf and returns the extended slice.
+// It is the allocation-free form of Marshal: the medium reuses transmission
+// buffers across frames, so the hot path never allocates a wire image.
+func (f *Frame) AppendWire(buf []byte) []byte {
+	start := len(buf)
 	fc := f.frameControl()
 	buf = append(buf, fc[0], fc[1])
 	buf = binary.LittleEndian.AppendUint16(buf, f.Duration)
@@ -299,7 +306,7 @@ func (f *Frame) Marshal() []byte {
 		}
 		buf = append(buf, f.Body...)
 	}
-	fcs := crc32.ChecksumIEEE(buf)
+	fcs := crc32.ChecksumIEEE(buf[start:])
 	buf = binary.LittleEndian.AppendUint32(buf, fcs)
 	return buf
 }

@@ -32,7 +32,8 @@ func runA1(quick bool) *stats.Table {
 		"payload B", "long Mbit/s", "short Mbit/s", "gain %")
 	sizes := pick(quick, []int{100, 1500}, []int{64, 100, 256, 512, 1024, 1500})
 	dur := runDur(quick, 1*sim.Second, 3*sim.Second)
-	for _, size := range sizes {
+	runParallel(t, len(sizes), func(si int) []string {
+		size := sizes[si]
 		var got [2]float64
 		for i, short := range []bool{false, true} {
 			net := core.NewNetwork(core.Config{
@@ -50,8 +51,8 @@ func runA1(quick bool) *stats.Table {
 		if got[0] > 0 {
 			gain = 100 * (got[1] - got[0]) / got[0]
 		}
-		t.AddRow(fmt.Sprint(size), stats.Mbps(got[0]), stats.Mbps(got[1]), stats.F(gain, 1))
-	}
+		return []string{fmt.Sprint(size), stats.Mbps(got[0]), stats.Mbps(got[1]), stats.F(gain, 1)}
+	})
 	t.Note = "the 96 µs saved per MPDU (and per ACK) amortizes poorly over long frames"
 	return t
 }
@@ -77,7 +78,8 @@ func runA2(quick bool) *stats.Table {
 		},
 		Resolver: func(p geom.Point) string { return names[p] },
 	}
-	for _, margin := range margins {
+	runParallel(t, len(margins), func(i int) []string {
+		margin := margins[i]
 		net := core.NewNetwork(core.Config{
 			Seed: 1500, Capture: true, CaptureMarginDB: margin, PathLoss: pl,
 		})
@@ -88,8 +90,8 @@ func runA2(quick bool) *stats.Table {
 		ff := net.Saturate(far, sink, 1000)
 		net.Run(dur)
 		nT, fT := net.FlowThroughput(fn), net.FlowThroughput(ff)
-		t.AddRow(stats.F(margin, 0), stats.Mbps(nT), stats.Mbps(fT), stats.Mbps(nT+fT))
-	}
+		return []string{stats.F(margin, 0), stats.Mbps(nT), stats.Mbps(fT), stats.Mbps(nT + fT)}
+	})
 	t.Note = "the senders' power gap at the sink is 25 dB: margins above it disable capture"
 	return t
 }

@@ -93,7 +93,8 @@ func runF11(quick bool) *stats.Table {
 	wire := payload + frame.DataHdrLen + frame.FCSLen
 	run := runDur(quick, 10*sim.Second, 25*sim.Second)
 
-	for _, g := range gs {
+	runParallel(t, len(gs), func(gi int) []string {
+		g := gs[gi]
 		row := []string{stats.F(g, 2)}
 		mode := phy.Mode80211b()
 		frameTime := mode.Airtime(3, wire)
@@ -170,8 +171,8 @@ func runF11(quick bool) *stats.Table {
 		row = append(row,
 			stats.F(analytical.PureAlohaS(g), 3),
 			stats.F(analytical.SlottedAlohaS(g), 3))
-		t.AddRow(row...)
-	}
+		return row
+	})
 	t.Note = "S and G in frames per 11 Mbit/s frame-time; DCF pays preamble+IFS so its plateau sits below TDMA"
 	return t
 }

@@ -33,7 +33,8 @@ func runF10(quick bool) *stats.Table {
 	t := stats.NewTable("F10: roaming across a 2-AP ESS (uplink CBR 50/s, walk 10 m/s)",
 		"hysteresis dB", "roams", "delivery %", "max outage ms", "final AP")
 	hys := pick(quick, []float64{6}, []float64{3, 6, 12})
-	for _, h := range hys {
+	runParallel(t, len(hys), func(i int) []string {
+		h := hys[i]
 		net := core.NewNetwork(core.Config{Seed: uint64(1000 + int(h))})
 		ap1 := net.AddAP("ap1", geom.Pt(0, 0), net80211.APConfig{SSID: "ess"})
 		ap2 := net.AddAP("ap2", geom.Pt(120, 0), net80211.APConfig{SSID: "ess"})
@@ -58,9 +59,9 @@ func runF10(quick bool) *stats.Table {
 		if sta.STA.BSSID() == ap2.AP.BSSID() {
 			final = "ap2"
 		}
-		t.AddRow(stats.F(h, 0), fmt.Sprint(sta.STA.Stats.Roams),
-			stats.F(delivery, 1), stats.F(outage, 0), final)
-	}
+		return []string{stats.F(h, 0), fmt.Sprint(sta.STA.Stats.Roams),
+			stats.F(delivery, 1), stats.F(outage, 0), final}
+	})
 	t.Note = "outage spans the rescan+reauth window; delivery counts CBR packets that crossed"
 	return t
 }
@@ -78,7 +79,8 @@ func runF12(quick bool) *stats.Table {
 		[]variant{{false, 100}, {true, 100}},
 		[]variant{{false, 100}, {true, 50}, {true, 100}, {true, 200}})
 	dur := runDur(quick, 4*sim.Second, 10*sim.Second)
-	for _, v := range variants {
+	runParallel(t, len(variants), func(i int) []string {
+		v := variants[i]
 		net := core.NewNetwork(core.Config{Seed: uint64(1200 + v.beacon)})
 		ap := net.AddAP("ap", geom.Pt(0, 0), net80211.APConfig{
 			SSID:           "ps",
@@ -107,10 +109,10 @@ func runF12(quick bool) *stats.Table {
 		if v.ps {
 			mode = "power-save"
 		}
-		t.AddRow(mode, fmt.Sprint(v.beacon), stats.F(mean, 2), stats.F(p95, 2),
+		return []string{mode, fmt.Sprint(v.beacon), stats.F(mean, 2), stats.F(p95, 2),
 			stats.F(100*slept.Seconds()/dur.Seconds(), 1), stats.F(energy, 2),
-			fmt.Sprint(delivered))
-	}
+			fmt.Sprint(delivered)}
+	})
 	t.Note = "PS latency clusters around the next-beacon wait; energy uses the 1.4/0.9/0.74/0.047 W card model"
 	return t
 }

@@ -67,8 +67,7 @@ func runF13(quick bool) *stats.Table {
 			stats.F(loss, 1), stats.Mbps(sumThroughput(net, bgFlows))}
 	}
 
-	t.AddRow(run(false)...)
-	t.AddRow(run(true)...)
+	runParallel(t, 2, func(i int) []string { return run(i == 1) })
 	t.Note = "voice: AIFSN 2 + CW[7,15]; background: AIFSN 7 + CW[63,1023]; all share one channel"
 	return t
 }

@@ -40,7 +40,8 @@ func runF4(quick bool) *stats.Table {
 	t := stats.NewTable("F4: goodput (Mbit/s) vs distance, 802.11a, Rayleigh fading", cols...)
 	dists := pick(quick, []float64{15, 45, 75}, []float64{10, 20, 30, 40, 55, 70, 85, 100})
 	dur := runDur(quick, 1*sim.Second, 3*sim.Second)
-	for _, d := range dists {
+	runParallel(t, len(dists), func(i int) []string {
+		d := dists[i]
 		row := []string{stats.F(d, 0)}
 		for ci, ctrl := range controllers {
 			net := core.NewNetwork(core.Config{
@@ -56,8 +57,8 @@ func runF4(quick bool) *stats.Table {
 			net.Run(dur)
 			row = append(row, stats.Mbps(net.FlowThroughput(flow)))
 		}
-		t.AddRow(row...)
-	}
+		return row
+	})
 	t.Note = "fixed = pinned to 54 Mbit/s; adaptive drivers start at the lowest basic rate"
 	return t
 }
@@ -85,16 +86,19 @@ func runF5(quick bool) *stats.Table {
 		return perFlowThroughput(net, flows)
 	}
 
-	fastOnly := run(false)
-	t.AddRow("3 fast stations",
-		stats.Mbps(fastOnly[0]), stats.Mbps(fastOnly[1]), stats.Mbps(fastOnly[2]), "-",
-		stats.Mbps(fastOnly[0]+fastOnly[1]+fastOnly[2]))
-
-	withSlow := run(true)
-	agg := withSlow[0] + withSlow[1] + withSlow[2] + withSlow[3]
-	t.AddRow("3 fast + 1 slow (1 Mbit/s)",
-		stats.Mbps(withSlow[0]), stats.Mbps(withSlow[1]), stats.Mbps(withSlow[2]),
-		stats.Mbps(withSlow[3]), stats.Mbps(agg))
+	runParallel(t, 2, func(i int) []string {
+		if i == 0 {
+			fastOnly := run(false)
+			return []string{"3 fast stations",
+				stats.Mbps(fastOnly[0]), stats.Mbps(fastOnly[1]), stats.Mbps(fastOnly[2]), "-",
+				stats.Mbps(fastOnly[0] + fastOnly[1] + fastOnly[2])}
+		}
+		withSlow := run(true)
+		agg := withSlow[0] + withSlow[1] + withSlow[2] + withSlow[3]
+		return []string{"3 fast + 1 slow (1 Mbit/s)",
+			stats.Mbps(withSlow[0]), stats.Mbps(withSlow[1]), stats.Mbps(withSlow[2]),
+			stats.Mbps(withSlow[3]), stats.Mbps(agg)}
+	})
 	t.Note = "per-frame fairness of DCF equalizes frame rates, not airtime: slow frames starve everyone"
 	return t
 }
@@ -112,7 +116,8 @@ func runF8(quick bool) *stats.Table {
 
 	frags := pick(quick, []int{2346, 512}, []int{2346, 1500, 1024, 512, 256})
 	dur := runDur(quick, 2*sim.Second, 5*sim.Second)
-	for _, fragTh := range frags {
+	runParallel(t, len(frags), func(i int) []string {
+		fragTh := frags[i]
 		row := []string{fmt.Sprint(fragTh)}
 		for _, noisy := range []bool{true, false} {
 			cfg := core.Config{Seed: uint64(800 + fragTh), FragThreshold: fragTh}
@@ -126,8 +131,8 @@ func runF8(quick bool) *stats.Table {
 			net.Run(dur)
 			row = append(row, stats.Mbps(net.FlowThroughput(flow)))
 		}
-		t.AddRow(row...)
-	}
+		return row
+	})
 	t.Note = "noisy channel: full-size MPDU PER ≈ 0.6; fragments fail (and retry) independently"
 	return t
 }

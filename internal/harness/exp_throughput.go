@@ -50,7 +50,9 @@ func runT1(quick bool) *stats.Table {
 	t := stats.NewTable("T1: PHY comparison (1 STA, saturated, 1472B payload, 5 m)",
 		"standard", "nominal Mbit/s", "achieved Mbit/s", "efficiency %")
 	dur := runDur(quick, 1*sim.Second, 4*sim.Second)
-	for _, modeName := range []string{"802.11", "802.11b", "802.11a", "802.11g"} {
+	modes := []string{"802.11", "802.11b", "802.11a", "802.11g"}
+	runParallel(t, len(modes), func(i int) []string {
+		modeName := modes[i]
 		net := core.NewNetwork(core.Config{Seed: 11, Mode: modeName})
 		a := net.AddAdhoc("a", geom.Pt(0, 0))
 		b := net.AddAdhoc("b", geom.Pt(5, 0))
@@ -58,9 +60,9 @@ func runT1(quick bool) *stats.Table {
 		net.Run(dur)
 		nominal := float64(net.Mode().Rate(net.Mode().MaxRate()).BitRate)
 		achieved := net.FlowThroughput(flow)
-		t.AddRow(modeName, stats.Mbps(nominal), stats.Mbps(achieved),
-			stats.F(100*achieved/nominal, 1))
-	}
+		return []string{modeName, stats.Mbps(nominal), stats.Mbps(achieved),
+			stats.F(100*achieved/nominal, 1)}
+	})
 	t.Note = "efficiency gap comes from PLCP preamble, IFS, backoff and ACK overheads"
 	return t
 }
@@ -73,7 +75,8 @@ func runF1(quick bool) *stats.Table {
 	ns := pick(quick, []int{1, 5, 10}, []int{1, 2, 5, 10, 15, 20, 30, 40, 50})
 	dur := runDur(quick, 1500*sim.Millisecond, 5*sim.Second)
 	const payload = 1500
-	for _, n := range ns {
+	runParallel(t, len(ns), func(i int) []string {
+		n := ns[i]
 		basicNet, _, basicFlows := star(core.Config{Seed: uint64(100 + n)}, n, payload)
 		basicNet.Run(dur)
 		basic := sumThroughput(basicNet, basicFlows)
@@ -87,9 +90,9 @@ func runF1(quick bool) *stats.Table {
 		prm.RTS = true
 		anaRTS := analytical.Bianchi(n, prm).Throughput
 
-		t.AddRow(fmt.Sprint(n), stats.Mbps(basic), stats.Mbps(rts),
-			stats.Mbps(anaBasic), stats.Mbps(anaRTS))
-	}
+		return []string{fmt.Sprint(n), stats.Mbps(basic), stats.Mbps(rts),
+			stats.Mbps(anaBasic), stats.Mbps(anaRTS)}
+	})
 	t.Note = "simulated points should track Bianchi within a few percent"
 	return t
 }
@@ -104,7 +107,8 @@ func runF2(quick bool) *stats.Table {
 		[]float64{2e6, 5e6, 8e6},
 		[]float64{1e6, 2e6, 3e6, 4e6, 5e6, 6e6, 7e6, 8e6, 10e6})
 	dur := runDur(quick, 2*sim.Second, 5*sim.Second)
-	for _, load := range loads {
+	runParallel(t, len(loads), func(i int) []string {
+		load := loads[i]
 		net := core.NewNetwork(core.Config{Seed: uint64(load / 1e5)})
 		sink := net.AddAdhoc("sink", geom.Pt(0, 0))
 		pts := geom.Circle(nSta, 3, geom.Pt(0, 0))
@@ -146,9 +150,9 @@ func runF2(quick bool) *stats.Table {
 		if offered > 0 {
 			loss = 100 * (1 - float64(got)/float64(offered))
 		}
-		t.AddRow(stats.Mbps(load), stats.Mbps(delivered), stats.F(loss, 1),
-			stats.F(meanDelay*1000, 2), stats.F(latH.Quantile(1)*1000, 2))
-	}
+		return []string{stats.Mbps(load), stats.Mbps(delivered), stats.F(loss, 1),
+			stats.F(meanDelay*1000, 2), stats.F(latH.Quantile(1)*1000, 2)}
+	})
 	t.Note = "offered load counts generator arrivals; loss includes queue drops"
 	return t
 }
@@ -159,7 +163,8 @@ func runF6(quick bool) *stats.Table {
 		"n", "jain index", "min/max ratio", "agg Mbit/s")
 	ns := pick(quick, []int{2, 10}, []int{2, 5, 10, 20, 35})
 	dur := runDur(quick, 2*sim.Second, 5*sim.Second)
-	for _, n := range ns {
+	runParallel(t, len(ns), func(i int) []string {
+		n := ns[i]
 		net, _, flows := star(core.Config{Seed: uint64(600 + n)}, n, 1000)
 		net.Run(dur)
 		per := perFlowThroughput(net, flows)
@@ -176,9 +181,9 @@ func runF6(quick bool) *stats.Table {
 		if maxV > 0 {
 			ratio = minV / maxV
 		}
-		t.AddRow(fmt.Sprint(n), stats.F(stats.JainIndex(per), 4),
-			stats.F(ratio, 3), stats.Mbps(sumThroughput(net, flows)))
-	}
+		return []string{fmt.Sprint(n), stats.F(stats.JainIndex(per), 4),
+			stats.F(ratio, 3), stats.Mbps(sumThroughput(net, flows))}
+	})
 	return t
 }
 
@@ -188,7 +193,8 @@ func runF7(quick bool) *stats.Table {
 		"CWmin", "n=5 Mbit/s", "n=20 Mbit/s")
 	cws := pick(quick, []int{7, 31, 255}, []int{7, 15, 31, 63, 127, 255})
 	dur := runDur(quick, 1500*sim.Millisecond, 4*sim.Second)
-	for _, cw := range cws {
+	runParallel(t, len(cws), func(i int) []string {
+		cw := cws[i]
 		row := []string{fmt.Sprint(cw)}
 		for _, n := range []int{5, 20} {
 			net, _, flows := star(core.Config{
@@ -197,8 +203,8 @@ func runF7(quick bool) *stats.Table {
 			net.Run(dur)
 			row = append(row, stats.Mbps(sumThroughput(net, flows)))
 		}
-		t.AddRow(row...)
-	}
+		return row
+	})
 	t.Note = "small CW: collision losses at n=20; large CW: idle-slot waste at n=5"
 	return t
 }

@@ -49,7 +49,8 @@ func runF3(quick bool) *stats.Table {
 	t := stats.NewTable("F3: hidden terminal (2 hidden senders → 1 receiver, 1500B @ 2 Mbit/s)",
 		"access", "agg Mbit/s", "flowA Mbit/s", "flowC Mbit/s", "retries", "drops")
 	dur := runDur(quick, 3*sim.Second, 8*sim.Second)
-	for _, rts := range []bool{false, true} {
+	runParallel(t, 2, func(i int) []string {
+		rts := i == 1
 		cfg := core.Config{Seed: 300, PathLoss: hiddenPathLoss(), RateAdapt: "fixed:1"}
 		name := "basic"
 		if rts {
@@ -66,11 +67,11 @@ func runF3(quick bool) *stats.Table {
 
 		retries := a.MAC.Stats().Retries + c.MAC.Stats().Retries
 		drops := a.MAC.Stats().MSDUDropped + c.MAC.Stats().MSDUDropped
-		t.AddRow(name,
-			stats.Mbps(net.FlowThroughput(fa)+net.FlowThroughput(fc)),
+		return []string{name,
+			stats.Mbps(net.FlowThroughput(fa) + net.FlowThroughput(fc)),
 			stats.Mbps(net.FlowThroughput(fa)), stats.Mbps(net.FlowThroughput(fc)),
-			fmt.Sprint(retries), fmt.Sprint(drops))
-	}
+			fmt.Sprint(retries), fmt.Sprint(drops)}
+	})
 	t.Note = "senders are 200 dB apart: carrier sense is blind between them"
 	return t
 }
@@ -100,7 +101,8 @@ func runF9(quick bool) *stats.Table {
 		Resolver: func(p geom.Point) string { return names[p] },
 	}
 
-	for _, capture := range []bool{false, true} {
+	runParallel(t, 2, func(i int) []string {
+		capture := i == 1
 		net := core.NewNetwork(core.Config{Seed: 900, Capture: capture, PathLoss: pl})
 		sink := net.AddAdhoc("sink", posSink)
 		near := net.AddAdhoc("near", posNear)
@@ -110,9 +112,9 @@ func runF9(quick bool) *stats.Table {
 		net.Run(dur)
 
 		nT, fT := net.FlowThroughput(fn), net.FlowThroughput(ff)
-		t.AddRow(fmt.Sprint(capture), stats.Mbps(nT), stats.Mbps(fT),
-			stats.Mbps(nT+fT), stats.F(stats.JainIndex([]float64{nT, fT}), 3))
-	}
+		return []string{fmt.Sprint(capture), stats.Mbps(nT), stats.Mbps(fT),
+			stats.Mbps(nT + fT), stats.F(stats.JainIndex([]float64{nT, fT}), 3)}
+	})
 	t.Note = "25 dB power gap: with capture the receiver re-locks onto the near frame mid-collision"
 	return t
 }

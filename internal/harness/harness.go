@@ -11,7 +11,9 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -76,6 +78,56 @@ func expKey(id string) int {
 	n := 0
 	fmt.Sscanf(id[1:], "%d", &n)
 	return base + n
+}
+
+// --- parallel execution -------------------------------------------------------
+
+// Workers bounds the scenario-point worker pool used by runParallel.
+// Zero (the default) means GOMAXPROCS. Set to 1 to force sequential
+// execution — row output is bit-identical either way, because every
+// scenario point is an independent simulation with its own kernel and
+// seed, and rows are emitted in point order regardless of completion
+// order.
+var Workers int
+
+// runParallel evaluates n independent scenario points on a bounded worker
+// pool and appends each point's row to the table in point order. The point
+// function must be self-contained: it builds, runs and measures its own
+// core.Network(s) and returns the finished table row.
+func runParallel(t *stats.Table, n int, point func(i int) []string) {
+	w := Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	rows := make([][]string, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			rows[i] = point(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					rows[i] = point(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
 }
 
 // --- shared scenario builders -------------------------------------------------

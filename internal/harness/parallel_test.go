@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Parallel execution must be invisible in the results: every scenario point
+// is an independent simulation, and rows are emitted in point order, so the
+// table must be bit-identical whatever the worker count — and identical
+// across repeated runs (the event/object pools cannot leak state between
+// runs either).
+func TestParallelRowsBitIdentical(t *testing.T) {
+	defer func() { Workers = 0 }()
+	for _, id := range []string{"T1", "F1", "F2", "F9"} {
+		e := ByID(id)
+		if e == nil {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		Workers = 1
+		seq := e.Run(true).Rows
+		seqAgain := e.Run(true).Rows
+		if !reflect.DeepEqual(seq, seqAgain) {
+			t.Fatalf("%s: sequential runs differ:\n%v\n%v", id, seq, seqAgain)
+		}
+		Workers = 0 // GOMAXPROCS workers
+		par := e.Run(true).Rows
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("%s: parallel rows differ from sequential:\n%v\n%v", id, seq, par)
+		}
+	}
+}

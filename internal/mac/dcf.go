@@ -29,21 +29,26 @@ type DCF struct {
 	busy         bool     // physical CCA (includes own TX)
 	mediumIdleAt sim.Time // start of the current physical idle period
 	navUntil     sim.Time
-	navTimer     *sim.Event
+	navTimer     sim.Timer
 	useEIFS      bool // last reception errored; next IFS is EIFS
 
 	// Backoff: -1 means no backoff pending.
 	backoffSlots int
 	cw           int
-	accessTimer  *sim.Event
+	accessTimer  sim.Timer
 
 	// Response waiting.
 	pending   respKind
-	respTimer *sim.Event
+	respTimer sim.Timer
 
 	// Committed SIFS response in flight (scheduled or transmitting).
-	sifsEvent *sim.Event
+	sifsEvent sim.Timer
 	lastTx    lastTxKind
+
+	// Hot-path event names and callbacks, built once at construction so
+	// scheduling a timer never concatenates strings or allocates closures.
+	nameNav, nameAccess, nameCTSTimeout, nameACKTimeout, nameSIFS string
+	tryAccessFn, ctsTimeoutFn, ackTimeoutFn                       func()
 
 	seq   uint16
 	dedup *dedupCache
@@ -71,6 +76,15 @@ func New(k *sim.Kernel, radio *medium.Radio, cfg Config, rc RateController, src 
 		dedup:        newDedupCache(),
 		reasm:        newReassembler(),
 	}
+	name := radio.Name()
+	d.nameNav = "nav-expiry:" + name
+	d.nameAccess = "access:" + name
+	d.nameCTSTimeout = "cts-timeout:" + name
+	d.nameACKTimeout = "ack-timeout:" + name
+	d.nameSIFS = "sifs:" + name
+	d.tryAccessFn = d.tryAccess
+	d.ctsTimeoutFn = d.onCTSTimeout
+	d.ackTimeoutFn = d.onACKTimeout
 	radio.SetListener(d)
 	return d
 }
@@ -95,6 +109,18 @@ func (d *DCF) Busy() bool { return d.cur != nil || len(d.queue) > 0 }
 
 // SetReceiver installs the upward delivery callback.
 func (d *DCF) SetReceiver(r Receiver) { d.receiver = r }
+
+// TryReserve reports whether the transmit queue has room for another MSDU,
+// counting a queue drop when it does not — exactly as Enqueue would. It
+// lets send paths skip SNAP encapsulation and frame construction for MSDUs
+// the queue is certain to refuse (the common case under saturation).
+func (d *DCF) TryReserve() bool {
+	if len(d.queue) >= d.cfg.QueueCap {
+		d.stats.QueueDrops++
+		return false
+	}
+	return true
+}
 
 // Enqueue accepts an MSDU (data or management frame) for transmission. The
 // caller sets the address fields; the MAC owns Seq/Frag/Retry/Duration. It
@@ -140,7 +166,8 @@ func (d *DCF) makeJob(f *frame.Frame) *txJob {
 		f.Seq = seq
 		f.Frag = 0
 		f.MoreFrag = false
-		job.frags = []*frame.Frame{f}
+		job.fragArr[0] = f
+		job.frags = job.fragArr[:1]
 	}
 	job.useRTS = !group && mpduLen >= d.cfg.RTSThreshold
 	return job
@@ -155,10 +182,7 @@ func (d *DCF) OnCCABusy() {
 	}
 	d.busy = true
 	// Freeze backoff: account for slots consumed since countdown start.
-	if d.accessTimer.Scheduled() {
-		d.k.Cancel(d.accessTimer)
-		d.accessTimer = nil
-	}
+	d.k.Cancel(d.accessTimer)
 	if d.backoffSlots > 0 {
 		start := d.countdownStart()
 		if now := d.k.Now(); now > start {
@@ -249,9 +273,7 @@ func (d *DCF) tryAccess() {
 	if now < d.navUntil {
 		// Virtual carrier sense: wait out the NAV.
 		if !d.navTimer.Scheduled() {
-			d.navTimer = d.k.ScheduleAt(d.navUntil, "nav-expiry:"+d.radio.Name(), func() {
-				d.tryAccess()
-			})
+			d.navTimer = d.k.ScheduleAt(d.navUntil, d.nameNav, d.tryAccessFn)
 		}
 		if d.backoffSlots < 0 {
 			d.drawBackoff()
@@ -268,14 +290,10 @@ func (d *DCF) tryAccess() {
 		d.transmitCurrent()
 		return
 	}
-	if d.accessTimer.Scheduled() {
-		d.k.Cancel(d.accessTimer)
-	}
-	d.accessTimer = d.k.ScheduleAt(txAt, "access:"+d.radio.Name(), func() {
-		// Re-run the full guard set: state may have changed since this
-		// timer was armed (a response wait, a SIFS commitment, new NAV).
-		d.tryAccess()
-	})
+	d.k.Cancel(d.accessTimer)
+	// The timer re-runs the full guard set: state may have changed since it
+	// was armed (a response wait, a SIFS commitment, new NAV).
+	d.accessTimer = d.k.ScheduleAt(txAt, d.nameAccess, d.tryAccessFn)
 }
 
 // airtimeUs returns a frame's airtime in whole microseconds (rounded up).
@@ -366,12 +384,12 @@ func (d *DCF) OnTxDone() {
 		d.pending = respCTS
 		ctrl := d.mode.LowestBasic()
 		timeout := d.mode.SIFS + d.mode.Airtime(ctrl, frame.CTSLen) + 2*d.mode.Slot + 10*sim.Microsecond
-		d.respTimer = d.k.Schedule(timeout, "cts-timeout:"+d.radio.Name(), d.onCTSTimeout)
+		d.respTimer = d.k.Schedule(timeout, d.nameCTSTimeout, d.ctsTimeoutFn)
 	case txData:
 		d.pending = respACK
 		ctrl := d.mode.LowestBasic()
 		timeout := d.mode.SIFS + d.mode.Airtime(ctrl, frame.ACKLen) + 2*d.mode.Slot + 10*sim.Microsecond
-		d.respTimer = d.k.Schedule(timeout, "ack-timeout:"+d.radio.Name(), d.onACKTimeout)
+		d.respTimer = d.k.Schedule(timeout, d.nameACKTimeout, d.ackTimeoutFn)
 	case txBroadcast:
 		d.finishJob(true)
 	case txCTS, txACK:
@@ -461,10 +479,7 @@ func (d *DCF) finishJob(lastFragment bool) {
 // scheduleSIFS commits a response transmission one SIFS from now; committed
 // responses ignore CCA by design.
 func (d *DCF) scheduleSIFS(fn func()) {
-	d.sifsEvent = d.k.Schedule(d.mode.SIFS, "sifs:"+d.radio.Name(), func() {
-		d.sifsEvent = nil
-		fn()
-	})
+	d.sifsEvent = d.k.Schedule(d.mode.SIFS, d.nameSIFS, fn)
 }
 
 // OnRxError implements medium.Listener: an FCS-errored reception imposes

@@ -113,7 +113,10 @@ func (c *Config) fillDefaults(mode *phy.Mode) {
 
 // txJob is one MSDU moving through the transmit pipeline.
 type txJob struct {
-	frags   []*frame.Frame
+	frags []*frame.Frame
+	// fragArr backs frags for the common unfragmented case, so building a
+	// job does not allocate a one-element slice.
+	fragArr [1]*frame.Frame
 	fragIdx int
 	useRTS  bool
 	gotCTS  bool

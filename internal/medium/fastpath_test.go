@@ -1,0 +1,73 @@
+package medium
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/phy"
+)
+
+// addStatic places a radio with the quiet listener at (x, 0).
+func addStatic(m *Medium, name string, x float64) *Radio {
+	return m.AddRadio(RadioConfig{
+		Name: name, Mode: phy.Mode80211b(),
+		Mobility: geom.Static{P: geom.Pt(x, 0)}, TxPower: 15,
+	})
+}
+
+// Steady-state transmit fan-out must stay within a small allocation budget
+// regardless of receiver count: transmissions, arrivals and kernel events
+// are pooled, the wire buffer is reused, and one decode serves the fan-out.
+func TestTransmitFanoutAllocsBounded(t *testing.T) {
+	k, m := testbed(42)
+	tx := addStatic(m, "tx", 0)
+	for i := 0; i < 7; i++ {
+		addStatic(m, string(rune('a'+i)), 5+float64(i))
+	}
+	f := dataFrame(500)
+
+	// Warm the pools, the link cache and the neighbor lists.
+	for i := 0; i < 8; i++ {
+		k.Schedule(0, "tx", func() { tx.Transmit(f, 3) })
+		k.Run()
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		k.Schedule(0, "tx", func() { tx.Transmit(f, 3) })
+		k.Run()
+	})
+	// The budget covers the per-fan-out leftovers (one decoded frame and
+	// its body copy, listener-side work); pre-pooling this was ~6 allocs
+	// per receiver plus the wire image and closures.
+	if allocs > 8 {
+		t.Fatalf("transmit fan-out to 7 receivers allocates %v/op, want <= 8", allocs)
+	}
+}
+
+// A receiver far outside detection range is pruned from the neighbor list;
+// moving it into range must invalidate the list and resume delivery.
+func TestNeighborListInvalidation(t *testing.T) {
+	k, m := testbed(7)
+	tx := addStatic(m, "tx", 0)
+	rec := &recorder{k: k}
+	far := m.AddRadio(RadioConfig{
+		Name: "far", Mode: phy.Mode80211b(),
+		Mobility: geom.Static{P: geom.Pt(1e7, 0)}, TxPower: 15, Listener: rec,
+	})
+
+	k.Schedule(0, "tx", func() { tx.Transmit(dataFrame(200), 0) })
+	k.Run()
+	if len(rec.frames) != 0 {
+		t.Fatalf("radio 10000 km away decoded %d frames", len(rec.frames))
+	}
+	if m.neighborsOK[tx.id] && len(m.neighbors[tx.id]) != 0 {
+		t.Fatalf("far radio still in neighbor list: %v", m.neighbors[tx.id])
+	}
+
+	far.SetMobility(geom.Static{P: geom.Pt(5, 0)})
+	k.Schedule(0, "tx", func() { tx.Transmit(dataFrame(200), 0) })
+	k.Run()
+	if len(rec.frames) != 1 {
+		t.Fatalf("moved-in radio decoded %d frames, want 1", len(rec.frames))
+	}
+}

@@ -56,7 +56,9 @@ func (NopListener) OnRxFrame(*frame.Frame, RxInfo) {}
 func (NopListener) OnRxError(RxInfo)               {}
 func (NopListener) OnTxDone()                      {}
 
-// transmission is one MPDU on the air.
+// transmission is one MPDU on the air. Transmissions are pooled: refs
+// counts the arrivals still pointing at this object, and the wire buffer's
+// capacity is reused across transmissions once refs drains to zero.
 type transmission struct {
 	id      uint64
 	tx      *Radio
@@ -68,6 +70,20 @@ type transmission struct {
 	start   sim.Time
 	airtime sim.Duration
 	txPos   geom.Point
+	refs    int
+	// decoded caches the parsed wire image: every receiver that decodes
+	// this transmission sees the same bytes, and received frames are
+	// read-only by convention (rx paths copy what they keep), so one
+	// Unmarshal serves the whole fan-out.
+	decoded *frame.Frame
+}
+
+// linkCacheEntry caches the propagation physics of one directed static
+// radio pair: received power (excluding fast fading) and propagation delay.
+type linkCacheEntry struct {
+	power units.DBm
+	delay sim.Duration
+	known bool
 }
 
 // Medium couples radios to the propagation model.
@@ -89,17 +105,43 @@ type Medium struct {
 
 	// Counters for diagnostics.
 	Transmissions uint64
+
+	// Fast-path state: pooled transmissions/arrivals and the per-link gain
+	// cache (row-major [tx.id][rx.id], valid for static radio pairs only).
+	txPool      []*transmission
+	arrPool     []*arrival
+	links       []linkCacheEntry
+	shadowConst bool // shadow gain is time-invariant: base power cacheable
+	noFast      bool // no fast fading: cached power is the exact rx power
+
+	// neighbors[i] caches, for static transmitter i on a fading-free
+	// channel, the radios its transmissions can possibly reach: every
+	// non-static radio plus each static radio whose link power clears the
+	// detection margin. Fan-out walks this list instead of all radios.
+	// Channel mismatches are still filtered per transmission, so channel
+	// switches need no invalidation; mobility and margin changes do.
+	neighbors      [][]*Radio
+	neighborsOK    []bool
+	neighborMargin float64
 }
 
 // New creates an empty medium on the kernel with the given channel model.
 func New(k *sim.Kernel, model *spectrum.Model, src *rng.Source) *Medium {
-	return &Medium{
+	m := &Medium{
 		kernel:            k,
 		model:             model,
 		PropagationDelay:  true,
 		DetectionMarginDB: 10,
 		rng:               src.Split("medium"),
 	}
+	switch model.Shadow.(type) {
+	case spectrum.NoFading, *spectrum.Shadowing:
+		m.shadowConst = true
+	}
+	if _, ok := model.Fast.(spectrum.NoFading); ok {
+		m.noFast = true
+	}
+	return m
 }
 
 // Kernel returns the simulation kernel the medium schedules on.
@@ -148,45 +190,181 @@ func (m *Medium) AddRadio(cfg RadioConfig) *Radio {
 		cfg.Listener = NopListener{}
 	}
 	r := &Radio{
-		medium:     m,
-		id:         len(m.radios),
-		name:       cfg.Name,
-		mode:       cfg.Mode,
-		channel:    cfg.Channel,
-		mobility:   cfg.Mobility,
-		txPower:    cfg.TxPower,
-		noiseFloor: cfg.Mode.NoiseFloorDBm(cfg.NoiseFigure),
-		csThresh:   cfg.CSThreshold,
-		capture:    cfg.CaptureEnabled,
-		capMargin:  cfg.CaptureMargin,
-		listener:   cfg.Listener,
-		rng:        m.rng.Split("radio:" + cfg.Name),
+		medium:      m,
+		id:          len(m.radios),
+		name:        cfg.Name,
+		mode:        cfg.Mode,
+		channel:     cfg.Channel,
+		mobility:    cfg.Mobility,
+		txPower:     cfg.TxPower,
+		noiseFloor:  cfg.Mode.NoiseFloorDBm(cfg.NoiseFigure),
+		csThresh:    cfg.CSThreshold,
+		csThreshMW:  cfg.CSThreshold.MilliWatt(),
+		capture:     cfg.CaptureEnabled,
+		capMargin:   cfg.CaptureMargin,
+		listener:    cfg.Listener,
+		rng:         m.rng.Split("radio:" + cfg.Name),
+		nameRxStart: "rx-start:" + cfg.Name,
+		nameRxEnd:   "rx-end:" + cfg.Name,
+		nameTxDone:  "tx-done:" + cfg.Name,
+	}
+	r.noiseFloorMW = linearOrZero(r.noiseFloor)
+	_, r.static = cfg.Mobility.(geom.Static)
+	r.txDoneFn = func() {
+		r.state = stateIdle
+		r.updateCCA()
+		r.listener.OnTxDone()
 	}
 	m.radios = append(m.radios, r)
+	// The cache is sized n*n; adding a radio resizes and clears it.
+	n := len(m.radios)
+	m.links = make([]linkCacheEntry, n*n)
+	m.neighbors = append(m.neighbors, nil)
+	m.neighborsOK = make([]bool, n)
 	return r
 }
+
+// invalidateLinks drops cached gains for every link touching radio id, and
+// every neighbor list (the radio may have entered or left detection range
+// of any transmitter).
+func (m *Medium) invalidateLinks(id int) {
+	n := len(m.radios)
+	for j := 0; j < n; j++ {
+		m.links[id*n+j] = linkCacheEntry{}
+		m.links[j*n+id] = linkCacheEntry{}
+		m.neighborsOK[j] = false
+	}
+}
+
+// neighborCandidates returns (building lazily if needed) the fan-out list
+// for static transmitter r. Valid only when noFast && shadowConst: then the
+// cached link power is exactly what linkPhysics would return, so filtering
+// here is bit-identical to filtering inside the fan-out loop.
+func (m *Medium) neighborCandidates(r *Radio, t *transmission) []*Radio {
+	if m.DetectionMarginDB != m.neighborMargin {
+		for i := range m.neighborsOK {
+			m.neighborsOK[i] = false
+		}
+		m.neighborMargin = m.DetectionMarginDB
+	}
+	if m.neighborsOK[r.id] {
+		return m.neighbors[r.id]
+	}
+	list := m.neighbors[r.id][:0]
+	for _, rx := range m.radios {
+		if rx == r {
+			continue
+		}
+		if !rx.static {
+			// Moving receivers stay in the list; their power is computed
+			// per transmission.
+			list = append(list, rx)
+			continue
+		}
+		power, _ := m.linkPhysics(r, rx, t)
+		if float64(power) >= float64(rx.noiseFloor)-m.DetectionMarginDB {
+			list = append(list, rx)
+		}
+	}
+	m.neighbors[r.id] = list
+	m.neighborsOK[r.id] = true
+	return list
+}
+
+// --- object pools ---------------------------------------------------------
+
+func (m *Medium) getTransmission() *transmission {
+	if n := len(m.txPool); n > 0 {
+		t := m.txPool[n-1]
+		m.txPool = m.txPool[:n-1]
+		return t
+	}
+	return &transmission{}
+}
+
+func (m *Medium) putTransmission(t *transmission) {
+	t.tx = nil
+	t.mode = nil
+	t.decoded = nil
+	m.txPool = append(m.txPool, t) // t.wire keeps its capacity for reuse
+}
+
+func (m *Medium) getArrival() *arrival {
+	if n := len(m.arrPool); n > 0 {
+		a := m.arrPool[n-1]
+		m.arrPool = m.arrPool[:n-1]
+		return a
+	}
+	return &arrival{}
+}
+
+// releaseArrival recycles an arrival after its trailing edge has been fully
+// processed, and recycles the transmission once its last arrival releases.
+func (m *Medium) releaseArrival(a *arrival) {
+	t := a.t
+	*a = arrival{}
+	m.arrPool = append(m.arrPool, a)
+	t.refs--
+	if t.refs == 0 {
+		m.putTransmission(t)
+	}
+}
+
+// Static dispatch targets for ScheduleArg: package-level funcs carry the
+// arrival pointer through the kernel without a closure allocation.
+func arrivalStartFn(x any) { a := x.(*arrival); a.rx.arrivalStart(a) }
+func arrivalEndFn(x any)   { a := x.(*arrival); a.rx.arrivalEnd(a) }
 
 // Radios returns all registered radios.
 func (m *Medium) Radios() []*Radio { return m.radios }
 
+// linkPhysics returns the received power and propagation delay for a
+// transmission from r to rx, consulting the per-link cache when both
+// endpoints are static and the shadow process is time-invariant. Cached
+// values reproduce the uncached computation bit-for-bit: the cache stores
+// txPower-loss+shadow with the same operation order RxPower uses, and fast
+// fading (when present) is re-applied per transmission.
+func (m *Medium) linkPhysics(r, rx *Radio, t *transmission) (units.DBm, sim.Duration) {
+	linkID := uint64(r.id)<<20 | uint64(rx.id)
+	lc := &m.links[r.id*len(m.radios)+rx.id]
+	if !lc.known {
+		rxPos := rx.mobility.PositionAt(t.start)
+		if m.shadowConst && r.static && rx.static {
+			base := r.txPower.Add(-m.model.PathLoss.Loss(t.txPos, rxPos)).Add(m.model.Shadow.Gain(linkID, t.start))
+			d := t.txPos.Distance(rxPos)
+			lc.power = base
+			lc.delay = sim.Duration(d / units.SpeedOfLight * float64(sim.Second))
+			lc.known = true
+		} else {
+			power := m.model.RxPower(r.txPower, t.txPos, rxPos, linkID, t.start)
+			d := t.txPos.Distance(rxPos)
+			return power, sim.Duration(d / units.SpeedOfLight * float64(sim.Second))
+		}
+	}
+	power := lc.power
+	if !m.noFast {
+		power = power.Add(m.model.Fast.Gain(linkID, t.start))
+	}
+	return power, lc.delay
+}
+
 // transmit puts a wire image on the air from radio r.
 func (m *Medium) transmit(r *Radio, f *frame.Frame, rate phy.RateIdx) sim.Duration {
-	wire := f.Marshal()
-	airtime := r.mode.Airtime(rate, len(wire))
+	t := m.getTransmission()
+	t.wire = f.AppendWire(t.wire[:0])
+	airtime := r.mode.Airtime(rate, len(t.wire))
 	m.nextTx++
 	m.Transmissions++
-	t := &transmission{
-		id:      m.nextTx,
-		tx:      r,
-		mode:    r.mode,
-		rate:    rate,
-		channel: r.channel,
-		wire:    wire,
-		bits:    len(wire) * 8,
-		start:   m.kernel.Now(),
-		airtime: airtime,
-		txPos:   r.mobility.PositionAt(m.kernel.Now()),
-	}
+	t.id = m.nextTx
+	t.tx = r
+	t.mode = r.mode
+	t.rate = rate
+	t.channel = r.channel
+	t.bits = len(t.wire) * 8
+	t.start = m.kernel.Now()
+	t.airtime = airtime
+	t.txPos = r.mobility.PositionAt(t.start)
+	t.refs = 0
 	if m.Tracer != nil {
 		m.Tracer.Trace(trace.Event{
 			At: t.start, Node: r.name, Kind: trace.KindTx, Frame: f,
@@ -195,27 +373,34 @@ func (m *Medium) transmit(r *Radio, f *frame.Frame, rate phy.RateIdx) sim.Durati
 	}
 
 	// Deliver arrival start/end events to every other radio on the channel.
-	for _, rx := range m.radios {
+	cands := m.radios
+	if m.noFast && m.shadowConst && r.static {
+		cands = m.neighborCandidates(r, t)
+	}
+	for _, rx := range cands {
 		if rx == r || rx.channel != r.channel {
 			continue
 		}
-		rxPos := rx.mobility.PositionAt(t.start)
-		linkID := uint64(r.id)<<20 | uint64(rx.id)
-		power := m.model.RxPower(r.txPower, t.txPos, rxPos, linkID, t.start)
+		power, delay := m.linkPhysics(r, rx, t)
 		// Ignore arrivals far below the receiver's noise floor: they are
 		// irrelevant both as signal and as interference.
 		if float64(power) < float64(rx.noiseFloor)-m.DetectionMarginDB {
 			continue
 		}
-		var delay sim.Duration
-		if m.PropagationDelay {
-			d := t.txPos.Distance(rxPos)
-			delay = sim.Duration(d / units.SpeedOfLight * float64(sim.Second))
+		if !m.PropagationDelay {
+			delay = 0
 		}
-		rx := rx
-		arr := &arrival{t: t, power: power}
-		m.kernel.Schedule(delay, "rx-start:"+rx.name, func() { rx.arrivalStart(arr) })
-		m.kernel.Schedule(delay+airtime, "rx-end:"+rx.name, func() { rx.arrivalEnd(arr) })
+		arr := m.getArrival()
+		arr.t = t
+		arr.rx = rx
+		arr.power = power
+		arr.powerMW = linearOrZero(power)
+		t.refs++
+		m.kernel.ScheduleArg(delay, rx.nameRxStart, arrivalStartFn, arr)
+		m.kernel.ScheduleArg(delay+airtime, rx.nameRxEnd, arrivalEndFn, arr)
+	}
+	if t.refs == 0 {
+		m.putTransmission(t)
 	}
 	return airtime
 }

@@ -2,6 +2,7 @@ package medium
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/frame"
 	"repro/internal/geom"
@@ -36,10 +37,13 @@ func (s radioState) String() string {
 	return "?"
 }
 
-// arrival is one transmission as seen by one receiver.
+// arrival is one transmission as seen by one receiver. Arrivals are pooled
+// by the medium and recycled after their trailing edge is processed.
 type arrival struct {
-	t     *transmission
-	power units.DBm
+	t       *transmission
+	rx      *Radio // the receiver; lets kernel events dispatch without closures
+	power   units.DBm
+	powerMW float64 // power in linear mW, converted once per arrival
 	// lockable records whether the receiver was able to start decoding.
 	locked bool
 	ended  bool
@@ -103,10 +107,12 @@ type Radio struct {
 	mobility geom.Mobility
 	txPower  units.DBm
 
-	noiseFloor units.DBm
-	csThresh   units.DBm
-	capture    bool
-	capMargin  units.DB
+	noiseFloor   units.DBm
+	noiseFloorMW float64 // noiseFloor in linear mW, converted once
+	csThresh     units.DBm
+	csThreshMW   float64 // csThresh in linear mW, converted once
+	capture      bool
+	capMargin    units.DB
 
 	listener Listener
 	rng      *rng.Source
@@ -117,7 +123,18 @@ type Radio struct {
 	lock     *arrival
 	segs     []segment
 	ccaBusy  bool
-	txEnd    *sim.Event
+	txEnd    sim.Timer
+
+	// Fast-path state: static mobility (gain cacheable), event names built
+	// once at AddRadio, and the tx-done callback allocated once.
+	static      bool
+	nameRxStart string
+	nameRxEnd   string
+	nameTxDone  string
+	txDoneFn    func()
+	// chunkCache memoizes the PHY error model: static topologies hit the
+	// same (mode, rate, SINR, bits) tuples on every frame.
+	chunkCache [chunkCacheSize]chunkCacheEntry
 
 	sleepStart sim.Time
 	Stats      RadioStats
@@ -140,8 +157,13 @@ func (r *Radio) Position() geom.Point {
 	return r.mobility.PositionAt(r.medium.kernel.Now())
 }
 
-// SetMobility replaces the mobility model.
-func (r *Radio) SetMobility(m geom.Mobility) { r.mobility = m }
+// SetMobility replaces the mobility model and invalidates cached link gains
+// involving this radio.
+func (r *Radio) SetMobility(m geom.Mobility) {
+	r.mobility = m
+	_, r.static = m.(geom.Static)
+	r.medium.invalidateLinks(r.id)
+}
 
 // SetListener installs the MAC-side event consumer.
 func (r *Radio) SetListener(l Listener) {
@@ -156,6 +178,8 @@ func (r *Radio) NoiseFloor() units.DBm { return r.noiseFloor }
 
 // CCABusy reports whether carrier sense currently indicates a busy medium:
 // transmitting, locked onto a frame, or receiving energy above threshold.
+// The energy compare runs in linear milliwatts against the pre-converted
+// threshold, sparing a log10 on every arrival edge.
 func (r *Radio) CCABusy() bool {
 	if r.state == stateTx {
 		return true
@@ -163,7 +187,7 @@ func (r *Radio) CCABusy() bool {
 	if r.state == stateSleep {
 		return false
 	}
-	return r.lock != nil || units.DBmFromMilliWatt(r.totalMW) >= r.csThresh
+	return r.lock != nil || r.totalMW >= r.csThreshMW
 }
 
 // Transmitting reports whether the radio is mid-transmission.
@@ -190,11 +214,7 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.RateIdx) sim.Duration {
 	airtime := r.medium.transmit(r, f, rate)
 	r.Stats.TxFrames++
 	r.Stats.TxAirtime += airtime
-	r.txEnd = r.medium.kernel.Schedule(airtime, "tx-done:"+r.name, func() {
-		r.state = stateIdle
-		r.updateCCA()
-		r.listener.OnTxDone()
-	})
+	r.txEnd = r.medium.kernel.Schedule(airtime, r.nameTxDone, r.txDoneFn)
 	return airtime
 }
 
@@ -236,7 +256,7 @@ func (r *Radio) interferenceMW() float64 {
 	if r.lock == nil {
 		return r.totalMW
 	}
-	i := r.totalMW - linearOrZero(r.lock.power)
+	i := r.totalMW - r.lock.powerMW
 	if i < 0 {
 		i = 0
 	}
@@ -295,7 +315,7 @@ func (r *Radio) arrivalStart(a *arrival) {
 		return
 	}
 	r.inFlight = append(r.inFlight, a)
-	r.totalMW += linearOrZero(a.power)
+	r.totalMW += a.powerMW
 
 	switch {
 	case r.state == stateTx:
@@ -348,9 +368,11 @@ func (r *Radio) closeSegment() {
 	r.segs = append(r.segs, segment{from: now, interfMW: r.interferenceMW()})
 }
 
-// arrivalEnd processes the trailing edge of a transmission.
+// arrivalEnd processes the trailing edge of a transmission. The arrival is
+// recycled on every exit path: the end event is its last reference.
 func (r *Radio) arrivalEnd(a *arrival) {
 	if a.stale {
+		r.medium.releaseArrival(a)
 		return
 	}
 	a.ended = true
@@ -361,7 +383,7 @@ func (r *Radio) arrivalEnd(a *arrival) {
 			break
 		}
 	}
-	r.totalMW -= linearOrZero(a.power)
+	r.totalMW -= a.powerMW
 	if r.totalMW < 1e-18 {
 		r.totalMW = 0
 	}
@@ -373,17 +395,46 @@ func (r *Radio) arrivalEnd(a *arrival) {
 		r.closeSegment()
 	}
 	r.updateCCA()
+	r.medium.releaseArrival(a)
+}
+
+// chunkCacheSize is the direct-mapped PHY-memo size (power of two).
+const chunkCacheSize = 256
+
+// chunkCacheEntry memoizes one ChunkSuccess evaluation.
+type chunkCacheEntry struct {
+	mode *phy.Mode
+	sinr float64
+	bits int32
+	rate phy.RateIdx
+	ok   bool
+	val  float64
+}
+
+// chunkSuccess is a memoized a.t.mode.ChunkSuccess: identical inputs give
+// identical outputs, so the cache cannot perturb results.
+func (r *Radio) chunkSuccess(mode *phy.Mode, rate phy.RateIdx, sinr float64, bits int) float64 {
+	h := (math.Float64bits(sinr) ^ uint64(bits)<<1 ^ uint64(rate)<<40) % chunkCacheSize
+	e := &r.chunkCache[h]
+	if e.ok && e.mode == mode && e.rate == rate && e.sinr == sinr && e.bits == int32(bits) {
+		return e.val
+	}
+	v := mode.ChunkSuccess(rate, sinr, bits)
+	*e = chunkCacheEntry{mode: mode, sinr: sinr, bits: int32(bits), rate: rate, ok: true, val: v}
+	return v
 }
 
 // finishLock evaluates the locked frame's fate and notifies the listener.
 func (r *Radio) finishLock(a *arrival) {
 	now := r.medium.kernel.Now()
 	r.Stats.RxAirtime += a.t.airtime
-	noiseMW := linearOrZero(r.noiseFloor)
-	sigMW := linearOrZero(a.power)
+	noiseMW := r.noiseFloorMW
+	sigMW := a.powerMW
 	total := a.t.airtime
 	success := 1.0
-	minSINR := units.DB(1000)
+	// Track the minimum SINR in linear space; log10 is monotone, so one
+	// conversion of the minimum matches converting every segment.
+	minLin := math.Inf(1)
 	for i, seg := range r.segs {
 		segEnd := now
 		if i+1 < len(r.segs) {
@@ -395,8 +446,14 @@ func (r *Radio) finishLock(a *arrival) {
 		}
 		sinr := sigMW / (noiseMW + seg.interfMW)
 		bits := int(float64(a.t.bits) * float64(dur) / float64(total))
-		success *= a.t.mode.ChunkSuccess(a.t.rate, sinr, bits)
-		if db := units.DBFromLinear(sinr); db < minSINR {
+		success *= r.chunkSuccess(a.t.mode, a.t.rate, sinr, bits)
+		if sinr < minLin {
+			minLin = sinr
+		}
+	}
+	minSINR := units.DB(1000)
+	if !math.IsInf(minLin, 1) {
+		if db := units.DBFromLinear(minLin); db < minSINR {
 			minSINR = db
 		}
 	}
@@ -413,11 +470,16 @@ func (r *Radio) finishLock(a *arrival) {
 		End:     now,
 	}
 	if r.rng.Float64() < success {
-		f, err := frame.Unmarshal(a.t.wire)
-		if err != nil {
-			// The wire image was built by Marshal, so this means model
-			// corruption, not channel noise.
-			panic("medium: undecodable wire image: " + err.Error())
+		f := a.t.decoded
+		if f == nil {
+			var err error
+			f, err = frame.Unmarshal(a.t.wire)
+			if err != nil {
+				// The wire image was built by Marshal, so this means model
+				// corruption, not channel noise.
+				panic("medium: undecodable wire image: " + err.Error())
+			}
+			a.t.decoded = f
 		}
 		r.Stats.RxFrames++
 		if tr := r.medium.Tracer; tr != nil {

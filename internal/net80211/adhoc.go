@@ -43,6 +43,9 @@ func (a *Adhoc) MAC() *mac.DCF { return a.dcf }
 
 // Send transmits an application payload directly to dst (or broadcast).
 func (a *Adhoc) Send(dst frame.MACAddr, payload []byte) bool {
+	if !a.dcf.TryReserve() {
+		return false
+	}
 	body := frame.EncapSNAP(EtherTypePayload, payload)
 	f := frame.NewData(dst, a.Address(), a.bssid, false, false, body)
 	if !a.dcf.Enqueue(f) {

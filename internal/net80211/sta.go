@@ -108,11 +108,11 @@ type STA struct {
 
 	scanIdx   int
 	homeCh    int
-	mgmtTimer *sim.Event
+	mgmtTimer sim.Timer
 	mgmtTries int
 
 	ivs    wep.IVCounter
-	psWake *sim.Event // pending pre-beacon wakeup
+	psWake sim.Timer // pending pre-beacon wakeup
 	// beaconInt is the serving AP's beacon interval, learned from beacons.
 	beaconInt sim.Duration
 	// psAwaitSeq tokens the outstanding PS-Poll data wait: the station

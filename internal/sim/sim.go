@@ -3,10 +3,16 @@
 // priority queue of events, cancellable timers, and run-until/run-for
 // control. The kernel is strictly single-goroutine: all model code executes
 // inside event callbacks, which keeps runs bit-for-bit reproducible.
+//
+// The kernel is built for throughput: Event objects are recycled through a
+// free list (steady-state scheduling performs zero allocations), the queue
+// is an inlined 4-ary heap specialized to *Event, and cancelled events are
+// reaped lazily in bulk once they outnumber half the queue. Callers hold
+// generation-checked Timer handles, so a recycled Event can never be
+// cancelled by a stale handle.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -55,59 +61,60 @@ func (d Duration) String() string {
 	return fmt.Sprintf("%dns", int64(d))
 }
 
-// Event is a scheduled callback. Hold the pointer returned by Schedule* to
-// cancel it later; a cancelled or fired event is inert.
+// Event is a scheduled callback. Events are owned and recycled by the
+// kernel; model code refers to them only through Timer handles.
 type Event struct {
 	at     Time
 	seq    uint64 // tie-break: schedule order
-	index  int    // heap position, -1 when not queued
+	index  int32  // heap position, -1 when not queued
+	gen    uint32 // bumped on each recycle; Timer handles carry a copy
 	fn     func()
+	argFn  func(any) // static-dispatch alternative to fn; arg carries state
+	arg    any
 	name   string
 	cancel bool
 }
 
-// At returns the virtual time this event is (or was) scheduled for.
-func (e *Event) At() Time { return e.at }
+// Timer is a cancellable handle to a scheduled event. The zero value is an
+// inert handle: Scheduled reports false and Cancel is a no-op. Handles stay
+// safe after their event fires — the generation check prevents a stale
+// handle from touching a recycled Event.
+type Timer struct {
+	e   *Event
+	gen uint32
+}
+
+// At returns the virtual time the event is scheduled for, or 0 when the
+// handle is no longer live.
+func (t Timer) At() Time {
+	if t.e == nil || t.e.gen != t.gen {
+		return 0
+	}
+	return t.e.at
+}
 
 // Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 && !e.cancel }
+func (t Timer) Scheduled() bool {
+	return t.e != nil && t.e.gen == t.gen && t.e.index >= 0 && !t.e.cancel
+}
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventLess orders events by (time, schedule order).
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Kernel is the simulation executive. The zero value is not usable;
 // construct with NewKernel.
 type Kernel struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	stopped bool
+	now       Time
+	queue     []*Event // 4-ary min-heap on (at, seq)
+	free      []*Event // recycled events
+	seq       uint64
+	cancelled int // cancelled events still sitting in the queue
+	stopped   bool
 	// Hooks for instrumentation; may be nil.
 	OnEvent func(at Time, name string)
 	// processed counts events executed, for diagnostics and tests.
@@ -125,39 +132,193 @@ func (k *Kernel) Now() Time { return k.now }
 // Processed returns the number of events executed so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
-// Pending returns the number of events in the queue (including cancelled
-// events not yet reaped).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of live (non-cancelled) events in the queue.
+func (k *Kernel) Pending() int { return len(k.queue) - k.cancelled }
 
-// ScheduleAt queues fn to run at the absolute time at. Scheduling in the
-// past panics: that is always a model bug.
-func (k *Kernel) ScheduleAt(at Time, name string, fn func()) *Event {
+// --- 4-ary heap ----------------------------------------------------------
+
+// up restores the heap property from position i toward the root.
+func (k *Kernel) up(i int) {
+	q := k.queue
+	e := q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = int32(i)
+		i = p
+	}
+	q[i] = e
+	e.index = int32(i)
+}
+
+// down restores the heap property from position i toward the leaves.
+func (k *Kernel) down(i int) {
+	q := k.queue
+	n := len(q)
+	e := q[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(q[j], q[m]) {
+				m = j
+			}
+		}
+		if !eventLess(q[m], e) {
+			break
+		}
+		q[i] = q[m]
+		q[i].index = int32(i)
+		i = m
+	}
+	q[i] = e
+	e.index = int32(i)
+}
+
+// pop removes and returns the earliest event.
+func (k *Kernel) pop() *Event {
+	q := k.queue
+	e := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if n > 0 {
+		k.queue[0] = last
+		last.index = 0
+		k.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+// --- event pool ----------------------------------------------------------
+
+func (k *Kernel) getEvent() *Event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// putEvent clears and recycles a detached event. Bumping gen invalidates
+// every Timer handle that still points at it.
+func (k *Kernel) putEvent(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.argFn = nil
+	e.arg = nil
+	e.name = ""
+	e.cancel = false
+	e.index = -1
+	k.free = append(k.free, e)
+}
+
+// --- scheduling ----------------------------------------------------------
+
+// scheduleAt is the shared slow-free insert path.
+func (k *Kernel) scheduleAt(at Time, name string, fn func(), argFn func(any), arg any) Timer {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, at, k.now))
 	}
-	e := &Event{at: at, seq: k.seq, fn: fn, name: name}
+	e := k.getEvent()
+	e.at = at
+	e.seq = k.seq
+	e.fn = fn
+	e.argFn = argFn
+	e.arg = arg
+	e.name = name
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	e.index = int32(len(k.queue))
+	k.queue = append(k.queue, e)
+	k.up(len(k.queue) - 1)
+	return Timer{e: e, gen: e.gen}
+}
+
+// ScheduleAt queues fn to run at the absolute time at. Scheduling in the
+// past panics: that is always a model bug.
+func (k *Kernel) ScheduleAt(at Time, name string, fn func()) Timer {
+	return k.scheduleAt(at, name, fn, nil, nil)
 }
 
 // Schedule queues fn to run after delay d (which may be zero: the event runs
 // after all events already queued for the current instant).
-func (k *Kernel) Schedule(d Duration, name string, fn func()) *Event {
+func (k *Kernel) Schedule(d Duration, name string, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, name))
 	}
-	return k.ScheduleAt(k.now.Add(d), name, fn)
+	return k.scheduleAt(k.now.Add(d), name, fn, nil, nil)
 }
 
-// Cancel marks an event so it will not fire. Cancelling nil, fired or
-// already-cancelled events is a no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// ScheduleArg queues a static callback with an argument after delay d. It
+// exists for hot paths: passing a package-level func and a pointer argument
+// avoids the closure allocation Schedule forces on its callers.
+func (k *Kernel) ScheduleArg(d Duration, name string, fn func(any), arg any) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, name))
+	}
+	return k.scheduleAt(k.now.Add(d), name, nil, fn, arg)
+}
+
+// ScheduleArgAt is ScheduleArg with an absolute time.
+func (k *Kernel) ScheduleArgAt(at Time, name string, fn func(any), arg any) Timer {
+	return k.scheduleAt(at, name, nil, fn, arg)
+}
+
+// Cancel marks an event so it will not fire. Cancelling zero, fired or
+// already-cancelled handles is a no-op. Cancelled events are reclaimed
+// lazily: immediately if popped, in bulk once they exceed half the queue.
+func (k *Kernel) Cancel(t Timer) {
+	e := t.e
+	if e == nil || e.gen != t.gen || e.index < 0 || e.cancel {
 		return
 	}
 	e.cancel = true
 	e.fn = nil
+	e.argFn = nil
+	e.arg = nil
+	k.cancelled++
+	if k.cancelled > 16 && k.cancelled > len(k.queue)/2 {
+		k.reapCancelled()
+	}
+}
+
+// reapCancelled rebuilds the queue without its cancelled events and recycles
+// them. Heap layout among live events does not affect pop order — (at, seq)
+// is a strict total order — so rebuilding cannot perturb determinism.
+func (k *Kernel) reapCancelled() {
+	q := k.queue
+	live := q[:0]
+	for _, e := range q {
+		if e.cancel {
+			k.cancelled--
+			k.putEvent(e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(q); i++ {
+		q[i] = nil
+	}
+	k.queue = live
+	for i, e := range live {
+		e.index = int32(i)
+	}
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		k.down(i)
+	}
 }
 
 // Stop makes the current Run call return after the in-flight event finishes.
@@ -167,8 +328,10 @@ func (k *Kernel) Stop() { k.stopped = true }
 // is empty.
 func (k *Kernel) step() bool {
 	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
+		e := k.pop()
 		if e.cancel {
+			k.cancelled--
+			k.putEvent(e)
 			continue
 		}
 		if e.at < k.now {
@@ -178,10 +341,14 @@ func (k *Kernel) step() bool {
 		if k.OnEvent != nil {
 			k.OnEvent(e.at, e.name)
 		}
-		fn := e.fn
-		e.fn = nil
+		fn, argFn, arg := e.fn, e.argFn, e.arg
+		k.putEvent(e) // recycle before invoking: the callback may reschedule
 		k.processed++
-		fn()
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -205,7 +372,9 @@ func (k *Kernel) RunUntil(deadline Time) {
 		// Peek.
 		next := k.queue[0]
 		if next.cancel {
-			heap.Pop(&k.queue)
+			e := k.pop()
+			k.cancelled--
+			k.putEvent(e)
 			continue
 		}
 		if next.at > deadline {
@@ -229,7 +398,7 @@ func (k *Kernel) Ticker(period Duration, name string, fn func()) (cancel func())
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
 	}
-	var ev *Event
+	var ev Timer
 	stopped := false
 	var tick func()
 	tick = func() {

@@ -65,15 +65,15 @@ func TestCancel(t *testing.T) {
 	if e.Scheduled() {
 		t.Fatal("cancelled event still reports scheduled")
 	}
-	// Double cancel and nil cancel must be safe.
+	// Double cancel and zero-handle cancel must be safe.
 	k.Cancel(e)
-	k.Cancel(nil)
+	k.Cancel(Timer{})
 }
 
 func TestCancelFromWithinEarlierEvent(t *testing.T) {
 	k := NewKernel()
 	fired := false
-	var e2 *Event
+	var e2 Timer
 	k.Schedule(10*Microsecond, "canceller", func() { k.Cancel(e2) })
 	e2 = k.Schedule(20*Microsecond, "victim", func() { fired = true })
 	k.Run()

@@ -67,6 +67,14 @@ type Generator struct {
 	Offered uint64 // packets handed to send
 	Refused uint64 // packets send() rejected
 	stopped bool
+
+	// runFn is the self-rescheduling callback, bound once so each packet
+	// does not allocate a fresh method value.
+	runFn func()
+	// buf is the reusable payload scratch: every consumer of a payload
+	// (SNAP encapsulation, the sink's header decode) copies what it keeps,
+	// so one buffer serves every emit.
+	buf []byte
 }
 
 // Stop halts the generator after the current event.
@@ -76,7 +84,10 @@ func (g *Generator) Stop() { g.stopped = true }
 func (g *Generator) Sent() uint64 { return g.Offered - g.Refused }
 
 func (g *Generator) emit() bool {
-	payload := make([]byte, g.size)
+	if cap(g.buf) < g.size {
+		g.buf = make([]byte, g.size)
+	}
+	payload := g.buf[:g.size]
 	EncodeHeader(payload, Header{FlowID: g.flowID, Seq: g.seq, SentAt: g.k.Now()})
 	g.seq++
 	g.Offered++
@@ -96,7 +107,7 @@ func (g *Generator) run() {
 	if gap < 0 {
 		gap = 0
 	}
-	g.k.Schedule(gap, "traffic", g.run)
+	g.k.Schedule(gap, "traffic", g.runFn)
 }
 
 func (g *Generator) runSaturate() {
@@ -109,16 +120,18 @@ func (g *Generator) runSaturate() {
 			break
 		}
 	}
-	g.k.Schedule(g.topUp, "traffic-sat", g.runSaturate)
+	g.k.Schedule(g.topUp, "traffic-sat", g.runFn)
 }
 
 // start begins generation at t=now (first packet immediately).
 func (g *Generator) start() {
 	if g.saturate {
-		g.k.Schedule(0, "traffic-sat", g.runSaturate)
+		g.runFn = g.runSaturate
+		g.k.Schedule(0, "traffic-sat", g.runFn)
 		return
 	}
-	g.k.Schedule(0, "traffic", g.run)
+	g.runFn = g.run
+	g.k.Schedule(0, "traffic", g.runFn)
 }
 
 // NewCBR starts a constant-bit-rate source: size-byte payloads every
