@@ -62,6 +62,7 @@ func main() {
 	workers := flag.Int("workers", 0, "harness worker pool size (0 = GOMAXPROCS)")
 	baseline := flag.String("baseline", "", "older report to embed and compare against")
 	out := flag.String("out", "BENCH_PR1.json", "output path (- for stdout)")
+	note := flag.String("note", "", "free-form measurement note recorded in the report (';'-separated)")
 	flag.Parse()
 
 	harness.Workers = *workers
@@ -85,6 +86,9 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    *workers,
 		Quick:      !*full,
+	}
+	if *note != "" {
+		rep.Notes = strings.Split(*note, ";")
 	}
 
 	var base *Report

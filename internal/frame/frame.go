@@ -317,35 +317,40 @@ var (
 	ErrBadFCS     = errors.New("frame: FCS mismatch")
 )
 
-// Unmarshal parses a wire image, verifying the FCS. The body is copied.
-func Unmarshal(b []byte) (*Frame, error) {
+// UnmarshalInto parses a wire image into f, verifying the FCS, without
+// allocating: f.Body aliases b's payload bytes. The frame is therefore a
+// *view* — it is valid only as long as the caller keeps b intact. Callers
+// that retain the frame (or its body) beyond b's lifetime must Clone it.
+// Every field of f is overwritten, so pooled Frame structs need no clearing
+// between uses. On error f is left in an unspecified state.
+func UnmarshalInto(f *Frame, b []byte) error {
 	if len(b) < CTSLen {
-		return nil, ErrShortFrame
+		return ErrShortFrame
 	}
 	payload, fcsBytes := b[:len(b)-FCSLen], b[len(b)-FCSLen:]
 	want := binary.LittleEndian.Uint32(fcsBytes)
 	if crc32.ChecksumIEEE(payload) != want {
-		return nil, ErrBadFCS
+		return ErrBadFCS
 	}
-	var f Frame
+	*f = Frame{}
 	if err := f.setFrameControl(payload[0], payload[1]); err != nil {
-		return nil, err
+		return err
 	}
 	f.Duration = binary.LittleEndian.Uint16(payload[2:4])
 	copy(f.Addr1[:], payload[4:10])
 	switch {
 	case f.IsCTSOrACK():
 		if len(payload) != CTSLen-FCSLen {
-			return nil, fmt.Errorf("frame: %s has length %d, want %d", Name(f.Type, f.Subtype), len(b), CTSLen)
+			return fmt.Errorf("frame: %s has length %d, want %d", Name(f.Type, f.Subtype), len(b), CTSLen)
 		}
 	case f.IsRTSOrPSPoll():
 		if len(payload) != RTSLen-FCSLen {
-			return nil, fmt.Errorf("frame: %s has length %d, want %d", Name(f.Type, f.Subtype), len(b), RTSLen)
+			return fmt.Errorf("frame: %s has length %d, want %d", Name(f.Type, f.Subtype), len(b), RTSLen)
 		}
 		copy(f.Addr2[:], payload[10:16])
 	default:
 		if len(payload) < DataHdrLen {
-			return nil, ErrShortFrame
+			return ErrShortFrame
 		}
 		copy(f.Addr2[:], payload[10:16])
 		copy(f.Addr3[:], payload[16:22])
@@ -355,14 +360,38 @@ func Unmarshal(b []byte) (*Frame, error) {
 		bodyStart := DataHdrLen
 		if f.ToDS && f.FromDS {
 			if len(payload) < FourAddrLen {
-				return nil, ErrShortFrame
+				return ErrShortFrame
 			}
 			copy(f.Addr4[:], payload[24:30])
 			bodyStart = FourAddrLen
 		}
-		f.Body = append([]byte(nil), payload[bodyStart:]...)
+		f.Body = payload[bodyStart:]
+	}
+	return nil
+}
+
+// Unmarshal parses a wire image, verifying the FCS. The body is copied, so
+// the result is independent of b; hot paths use UnmarshalInto instead.
+func Unmarshal(b []byte) (*Frame, error) {
+	var f Frame
+	if err := UnmarshalInto(&f, b); err != nil {
+		return nil, err
+	}
+	if f.Body != nil {
+		f.Body = append([]byte(nil), f.Body...)
 	}
 	return &f, nil
+}
+
+// Clone returns a deep copy of the frame: the body is copied into fresh
+// storage, so the clone survives reuse of the wire buffer a zero-copy view
+// aliases. It is the retention escape hatch for UnmarshalInto consumers.
+func (f *Frame) Clone() *Frame {
+	cp := *f
+	if f.Body != nil {
+		cp.Body = append([]byte(nil), f.Body...)
+	}
+	return &cp
 }
 
 func (f *Frame) String() string {

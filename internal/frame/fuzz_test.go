@@ -1,9 +1,203 @@
 package frame
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
+
+// decodersAgree asserts the zero-copy UnmarshalInto and the copying legacy
+// Unmarshal produce the same verdict on wire: identical errors, or identical
+// fields with the view's body aliasing wire and the legacy body independent
+// of it.
+func decodersAgree(t *testing.T, wire []byte) {
+	t.Helper()
+	legacy, legacyErr := Unmarshal(wire)
+	var view Frame
+	viewErr := UnmarshalInto(&view, wire)
+	switch {
+	case legacyErr == nil && viewErr != nil:
+		t.Fatalf("Unmarshal accepted %x, UnmarshalInto rejected: %v", wire, viewErr)
+	case legacyErr != nil && viewErr == nil:
+		t.Fatalf("UnmarshalInto accepted %x, Unmarshal rejected: %v", wire, legacyErr)
+	case legacyErr != nil:
+		if legacyErr.Error() != viewErr.Error() {
+			t.Fatalf("error mismatch on %x: Unmarshal=%q UnmarshalInto=%q", wire, legacyErr, viewErr)
+		}
+		return
+	}
+	if !bytes.Equal(legacy.Body, view.Body) {
+		t.Fatalf("body mismatch on %x: %x vs %x", wire, legacy.Body, view.Body)
+	}
+	lh, vh := *legacy, view
+	lh.Body, vh.Body = nil, nil
+	if !reflect.DeepEqual(lh, vh) {
+		t.Fatalf("field mismatch on %x:\nUnmarshal:     %+v\nUnmarshalInto: %+v", wire, lh, vh)
+	}
+	// The view must alias wire (zero-copy), the legacy body must not.
+	if len(view.Body) > 0 {
+		if &view.Body[0] != &wire[len(wire)-FCSLen-len(view.Body)] {
+			t.Fatalf("UnmarshalInto body does not alias the wire buffer")
+		}
+		if &legacy.Body[0] == &view.Body[0] {
+			t.Fatalf("Unmarshal body aliases the wire buffer")
+		}
+	}
+}
+
+// TestUnmarshalIntoEquivalence fuzzes the zero-copy decoder against the
+// legacy one over arbitrary bytes (almost all rejected) and over valid
+// frames of every layout (all accepted).
+func TestUnmarshalIntoEquivalence(t *testing.T) {
+	if err := quick.Check(func(b []byte) bool {
+		decodersAgree(t, b)
+		return true
+	}, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	valid := []*Frame{
+		NewRTS(addrA, addrB, 123),
+		NewCTS(addrA, 44),
+		NewACK(addrB, 0),
+		NewPSPoll(addrC, addrA, 7),
+		NewData(addrA, addrB, addrC, true, false, []byte("payload")),
+		NewData(addrA, addrB, addrC, false, false, nil),
+		{Type: TypeData, Subtype: SubtypeData, ToDS: true, FromDS: true,
+			Addr1: addrA, Addr2: addrB, Addr3: addrC, Addr4: addrA, Body: []byte("wds body")},
+		NewMgmt(SubtypeBeacon, Broadcast, addrB, addrB, MarshalBeacon(&Beacon{SSID: "x", Rates: []byte{0x82}})),
+	}
+	for _, f := range valid {
+		f.Seq, f.Frag, f.Retry, f.Duration = 77, 2, true, 3000
+		decodersAgree(t, f.Marshal())
+	}
+}
+
+// TestUnmarshalIntoPooledReuse checks that re-decoding into a dirty Frame
+// leaves no residue from the previous decode — the property the medium's
+// frame pool relies on.
+func TestUnmarshalIntoPooledReuse(t *testing.T) {
+	var f Frame
+	rich := &Frame{Type: TypeData, Subtype: SubtypeData, ToDS: true, FromDS: true,
+		Addr1: addrA, Addr2: addrB, Addr3: addrC, Addr4: addrA,
+		Seq: 99, Frag: 3, Retry: true, PwrMgmt: true, MoreData: true,
+		Duration: 5555, Body: []byte("leftover state")}
+	if err := UnmarshalInto(&f, rich.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if err := UnmarshalInto(&f, NewCTS(addrC, 1).Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Unmarshal(NewCTS(addrC, 1).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f
+	got.Body = nil // CTS has no body either way
+	if !reflect.DeepEqual(got, *want) {
+		t.Fatalf("stale fields after pooled reuse:\ngot  %+v\nwant %+v", got, *want)
+	}
+}
+
+// TestCloneDetachesFromWire checks the retention escape hatch: a Clone of a
+// zero-copy view must survive the wire buffer being rewritten.
+func TestCloneDetachesFromWire(t *testing.T) {
+	wire := NewData(addrA, addrB, addrC, false, false, []byte("hold me")).Marshal()
+	var view Frame
+	if err := UnmarshalInto(&view, wire); err != nil {
+		t.Fatal(err)
+	}
+	cl := view.Clone()
+	for i := range wire {
+		wire[i] = 0xff
+	}
+	if string(cl.Body) != "hold me" {
+		t.Fatalf("clone body corrupted by wire reuse: %q", cl.Body)
+	}
+	if string(view.Body) == "hold me" {
+		t.Fatal("view body unexpectedly survived wire rewrite (not aliasing?)")
+	}
+}
+
+// FuzzUnmarshalInto is the native fuzz entry for the round-trip equivalence
+// property; the seed corpus covers every frame layout plus truncations of a
+// management frame at every element boundary.
+func FuzzUnmarshalInto(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(NewACK(addrA, 9).Marshal())
+	f.Add(NewRTS(addrA, addrB, 88).Marshal())
+	f.Add(NewData(addrA, addrB, addrC, true, false, []byte("seed payload")).Marshal())
+	beacon := NewMgmt(SubtypeBeacon, Broadcast, addrB, addrB,
+		MarshalBeacon(&Beacon{SSID: "fuzz", Rates: []byte{0x82, 0x84}, Channel: 6,
+			TIM: &TIM{DTIMPeriod: 2, AIDs: []uint16{1, 9}}})).Marshal()
+	f.Add(beacon)
+	for n := 0; n < len(beacon); n += 7 {
+		f.Add(beacon[:n])
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		legacy, legacyErr := Unmarshal(b)
+		var view Frame
+		viewErr := UnmarshalInto(&view, b)
+		if (legacyErr == nil) != (viewErr == nil) {
+			t.Fatalf("decoder verdicts differ on %x: %v vs %v", b, legacyErr, viewErr)
+		}
+		if legacyErr != nil {
+			if legacyErr.Error() != viewErr.Error() {
+				t.Fatalf("errors differ on %x: %q vs %q", b, legacyErr, viewErr)
+			}
+			return
+		}
+		if !bytes.Equal(legacy.Body, view.Body) {
+			t.Fatalf("bodies differ on %x", b)
+		}
+		lh, vh := *legacy, view
+		lh.Body, vh.Body = nil, nil
+		if !reflect.DeepEqual(lh, vh) {
+			t.Fatalf("fields differ on %x", b)
+		}
+	})
+}
+
+// TestTruncatedManagementElements is the corruption corpus: management
+// bodies cut mid-element must be rejected cleanly (never panic, never parse
+// half an element) by both decode paths and all element readers. The frames
+// are re-marshalled after truncation, so the FCS is valid and corruption
+// handling is tested in the parsers rather than masked by the checksum.
+func TestTruncatedManagementElements(t *testing.T) {
+	full := MarshalBeacon(&Beacon{
+		Timestamp: 1 << 40, IntervalTU: 100, Capability: CapESS,
+		SSID: "corpus", Rates: []byte{0x82, 0x84, 0x8b, 0x96}, Channel: 11,
+		TIM: &TIM{DTIMCount: 1, DTIMPeriod: 3, Multicast: true, AIDs: []uint16{2, 17}},
+	})
+	for cut := 0; cut <= len(full); cut++ {
+		body := full[:cut]
+		wire := NewMgmt(SubtypeBeacon, Broadcast, addrB, addrB, body).Marshal()
+		decodersAgree(t, wire)
+		got, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("cut=%d: valid-FCS frame rejected: %v", cut, err)
+		}
+		// The IE walkers must agree with each other on every truncation.
+		ies, parseErr := ParseIEs(got.Body[min(12, len(got.Body)):])
+		walkErr := ForEachIE(got.Body[min(12, len(got.Body)):], func(uint8, []byte) bool { return true })
+		if (parseErr == nil) != (walkErr == nil) {
+			t.Fatalf("cut=%d: ParseIEs err=%v but ForEachIE err=%v", cut, parseErr, walkErr)
+		}
+		if parseErr == nil && cut >= 12 {
+			// Whatever parsed must round out of LookupIE identically.
+			for _, ie := range ies {
+				data, ok := LookupIE(got.Body[12:], ie.ID)
+				if !ok {
+					t.Fatalf("cut=%d: LookupIE lost element %d", cut, ie.ID)
+				}
+				_ = data
+			}
+		}
+		if _, err := ParseBeacon(got.Body); err == nil && cut < 12 {
+			t.Fatalf("cut=%d: ParseBeacon accepted a %d-byte body", cut, cut)
+		}
+	}
+}
 
 // The codec faces bytes from the radio model only, but a codec that panics
 // on arbitrary input is a codec with latent bugs. These tests feed

@@ -1,0 +1,15 @@
+package frame
+
+import "testing"
+
+func TestLookupIEZeroAllocCheck(t *testing.T) {
+	body := MarshalIEs([]IE{{ID: 0, Data: []byte("ssid")}, {ID: 3, Data: []byte{6}}})
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := LookupIE(body, 3); !ok {
+			t.Fatal("missing")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LookupIE allocates %v/op", allocs)
+	}
+}

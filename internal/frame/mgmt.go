@@ -30,19 +30,52 @@ func MarshalIEs(ies []IE) []byte {
 	return out
 }
 
-// ParseIEs parses information elements until the buffer is exhausted.
-func ParseIEs(b []byte) ([]IE, error) {
-	var ies []IE
+// ForEachIE walks the information elements of b in order without copying:
+// the data slice passed to fn aliases b. It stops early when fn returns
+// false, and reports ErrShortFrame on a truncated element. It is the
+// zero-allocation core of ParseIEs and LookupIE.
+func ForEachIE(b []byte, fn func(id uint8, data []byte) bool) error {
 	for len(b) > 0 {
 		if len(b) < 2 {
-			return nil, ErrShortFrame
+			return ErrShortFrame
 		}
 		id, l := b[0], int(b[1])
 		if len(b) < 2+l {
-			return nil, ErrShortFrame
+			return ErrShortFrame
 		}
-		ies = append(ies, IE{ID: id, Data: append([]byte(nil), b[2:2+l]...)})
+		if !fn(id, b[2:2+l]) {
+			return nil
+		}
 		b = b[2+l:]
+	}
+	return nil
+}
+
+// LookupIE returns the first element with the given ID as a view aliasing b,
+// without allocating (the early-exit closure does not escape). ok is false
+// when the element is absent or the list is malformed before it appears.
+// Callers that retain the data beyond b's lifetime must copy it.
+func LookupIE(b []byte, id uint8) (data []byte, ok bool) {
+	_ = ForEachIE(b, func(eid uint8, d []byte) bool {
+		if eid == id {
+			data, ok = d, true
+			return false
+		}
+		return true
+	})
+	return data, ok
+}
+
+// ParseIEs parses information elements until the buffer is exhausted. Each
+// element's data is copied, so the result is independent of b.
+func ParseIEs(b []byte) ([]IE, error) {
+	var ies []IE
+	err := ForEachIE(b, func(id uint8, data []byte) bool {
+		ies = append(ies, IE{ID: id, Data: append([]byte(nil), data...)})
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ies, nil
 }

@@ -557,7 +557,7 @@ func (d *DCF) handleRTS(f *frame.Frame, info medium.RxInfo) {
 	}
 	cts := frame.NewCTS(f.Addr2, durToUs(dur))
 	d.scheduleSIFS(func() {
-		if d.radio.Transmitting() {
+		if d.radio.Transmitting() || d.radio.Asleep() {
 			return
 		}
 		d.lastTx = txCTS
@@ -576,7 +576,7 @@ func (d *DCF) handleCTS(f *frame.Frame, info medium.RxInfo) {
 	job.gotCTS = true
 	job.src = 0 // successful RTS/CTS resets the short retry counter
 	d.scheduleSIFS(func() {
-		if d.cur == job && !d.radio.Transmitting() {
+		if d.cur == job && !d.radio.Transmitting() && !d.radio.Asleep() {
 			d.sendDataMPDU(job)
 		}
 	})
@@ -607,7 +607,9 @@ func (d *DCF) sendACK(f *frame.Frame, info medium.RxInfo) {
 	}
 	ack := frame.NewACK(f.Addr2, durToUs(dur))
 	d.scheduleSIFS(func() {
-		if d.radio.Transmitting() {
+		// The radio may have started transmitting or dozed (power save)
+		// since the response was committed; a sleeping radio cannot ACK.
+		if d.radio.Transmitting() || d.radio.Asleep() {
 			return
 		}
 		d.lastTx = txACK

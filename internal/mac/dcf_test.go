@@ -51,8 +51,9 @@ func (b *bed) addNode(name string, p geom.Point, cfg Config) *node {
 	d := New(b.k, r, cfg, rate.NewFixed(mode, mode.MaxRate()), b.src)
 	n := &node{radio: r, dcf: d}
 	d.SetReceiver(func(f *frame.Frame, _ medium.RxInfo) {
-		cp := *f
-		n.rx = append(n.rx, &cp)
+		// Delivered frames are zero-copy views; retaining them across
+		// events requires a deep copy.
+		n.rx = append(n.rx, f.Clone())
 	})
 	b.nodes = append(b.nodes, n)
 	return n

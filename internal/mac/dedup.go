@@ -58,6 +58,9 @@ func (r *reassembler) add(f *frame.Frame) *frame.Frame {
 	}
 	if f.Frag == 0 {
 		cp := *f
+		// The partial outlives the rx callback, and f.Body is a view into a
+		// pooled wire buffer; body above holds the copy, so drop the alias.
+		cp.Body = nil
 		r.partials[f.Addr2] = &partial{
 			seq:      f.Seq,
 			nextFrag: 1,

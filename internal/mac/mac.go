@@ -31,7 +31,10 @@ type RateController interface {
 }
 
 // Receiver consumes reassembled MSDUs and management frames addressed to
-// (or overheard by, for group addresses) this station.
+// (or overheard by, for group addresses) this station. Frames are zero-copy
+// views into pooled buffers, valid only for the duration of the call:
+// receivers that retain a frame, its body, or any slice derived from the
+// body must deep-copy (frame.Frame.Clone) what they keep.
 type Receiver func(f *frame.Frame, info medium.RxInfo)
 
 // Stats aggregates MAC-level counters.

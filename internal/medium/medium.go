@@ -39,7 +39,11 @@ type Listener interface {
 	OnCCABusy()
 	// OnCCAIdle fires when carrier sense transitions busy→idle.
 	OnCCAIdle()
-	// OnRxFrame delivers a successfully decoded frame.
+	// OnRxFrame delivers a successfully decoded frame. The frame is a
+	// pooled zero-copy view whose body aliases the transmission's wire
+	// buffer: it is valid only for the duration of the callback. Listeners
+	// that keep the frame, its body, or any slice derived from the body
+	// past their return must deep-copy (frame.Frame.Clone).
 	OnRxFrame(f *frame.Frame, info RxInfo)
 	// OnRxError reports a locked frame that failed its FCS.
 	OnRxError(info RxInfo)
@@ -73,8 +77,10 @@ type transmission struct {
 	refs    int
 	// decoded caches the parsed wire image: every receiver that decodes
 	// this transmission sees the same bytes, and received frames are
-	// read-only by convention (rx paths copy what they keep), so one
-	// Unmarshal serves the whole fan-out.
+	// read-only views by convention (rx paths Clone what they keep), so one
+	// zero-copy UnmarshalInto serves the whole fan-out. The Frame struct is
+	// pooled with the transmission and its Body aliases wire, so it is only
+	// valid until the transmission's last arrival releases.
 	decoded *frame.Frame
 }
 
@@ -106,10 +112,11 @@ type Medium struct {
 	// Counters for diagnostics.
 	Transmissions uint64
 
-	// Fast-path state: pooled transmissions/arrivals and the per-link gain
-	// cache (row-major [tx.id][rx.id], valid for static radio pairs only).
+	// Fast-path state: pooled transmissions/arrivals/decoded frames and the
+	// per-link gain cache (row-major [tx.id][rx.id], static pairs only).
 	txPool      []*transmission
 	arrPool     []*arrival
+	framePool   []*frame.Frame
 	links       []linkCacheEntry
 	shadowConst bool // shadow gain is time-invariant: base power cacheable
 	noFast      bool // no fast fading: cached power is the exact rx power
@@ -285,8 +292,35 @@ func (m *Medium) getTransmission() *transmission {
 func (m *Medium) putTransmission(t *transmission) {
 	t.tx = nil
 	t.mode = nil
-	t.decoded = nil
+	if t.decoded != nil {
+		t.decoded.Body = nil // drop the wire alias before pooling
+		m.framePool = append(m.framePool, t.decoded)
+		t.decoded = nil
+	}
 	m.txPool = append(m.txPool, t) // t.wire keeps its capacity for reuse
+}
+
+// decodeFrame returns (decoding on first use) the transmission's parsed
+// frame: a pooled Frame whose body aliases the wire buffer. Zero-alloc in
+// steady state — UnmarshalInto overwrites every field of the pooled struct.
+func (m *Medium) decodeFrame(t *transmission) *frame.Frame {
+	if t.decoded != nil {
+		return t.decoded
+	}
+	var f *frame.Frame
+	if n := len(m.framePool); n > 0 {
+		f = m.framePool[n-1]
+		m.framePool = m.framePool[:n-1]
+	} else {
+		f = &frame.Frame{}
+	}
+	if err := frame.UnmarshalInto(f, t.wire); err != nil {
+		// The wire image was built by Marshal, so this means model
+		// corruption, not channel noise.
+		panic("medium: undecodable wire image: " + err.Error())
+	}
+	t.decoded = f
+	return f
 }
 
 func (m *Medium) getArrival() *arrival {

@@ -28,7 +28,8 @@ func (r *recorder) OnCCAIdle()         { r.idleAt = append(r.idleAt, r.k.Now()) 
 func (r *recorder) OnTxDone()          { r.txDone++ }
 func (r *recorder) OnRxError(i RxInfo) { r.errors = append(r.errors, i) }
 func (r *recorder) OnRxFrame(f *frame.Frame, i RxInfo) {
-	r.frames = append(r.frames, f)
+	// f is a pooled view valid only during the callback; keep a deep copy.
+	r.frames = append(r.frames, f.Clone())
 	r.infos = append(r.infos, i)
 }
 

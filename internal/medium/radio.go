@@ -51,10 +51,43 @@ type arrival struct {
 	stale bool
 }
 
-// segment is a span of constant interference during a locked reception.
-type segment struct {
-	from     sim.Time
-	interfMW float64
+// segAccum incrementally folds the constant-interference timeline of a
+// locked reception. The seed kept an append-only []segment that grew with
+// every overlap boundary — O(boundaries) memory over a long lock — and
+// evaluated the whole timeline at lock end. Only the *running products*
+// matter for the frame's fate, so the accumulator keeps exactly one open
+// span and folds each span into (success, minLin) the instant it closes,
+// with the same per-span arithmetic in the same time order as the naive
+// timeline: the results are bit-identical (pinned by
+// TestSegAccumMatchesNaiveTimeline) and memory is O(1) regardless of lock
+// duration or interferer count.
+type segAccum struct {
+	from     sim.Time // start of the open span
+	interfMW float64  // interference level of the open span
+	success  float64  // product of per-span chunk success probabilities
+	minLin   float64  // minimum linear SINR over closed spans
+}
+
+// begin opens the timeline at a lock start.
+func (s *segAccum) begin(now sim.Time, interfMW float64) {
+	s.from = now
+	s.interfMW = interfMW
+	s.success = 1
+	s.minLin = math.Inf(1)
+}
+
+// boundary records an interference change at now. Same-instant changes
+// overwrite the open span's level (a zero-length span contributes nothing);
+// otherwise the open span is closed through fold and a new one opens. Equal
+// adjacent levels coalesce in storage automatically — the open span is the
+// only storage there is — while fold still sees every span exactly as the
+// naive timeline would.
+func (s *segAccum) boundary(now sim.Time, interfMW float64, r *Radio) {
+	if s.from != now {
+		r.foldSpan(now)
+		s.from = now
+	}
+	s.interfMW = interfMW
 }
 
 // RadioStats aggregates per-radio counters.
@@ -121,7 +154,7 @@ type Radio struct {
 	inFlight []*arrival
 	totalMW  float64 // interference+signal power at the antenna, mW
 	lock     *arrival
-	segs     []segment
+	seg      segAccum
 	ccaBusy  bool
 	txEnd    sim.Timer
 
@@ -207,7 +240,6 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.RateIdx) sim.Duration {
 		// Half duplex: the frame being received is lost.
 		r.lock.locked = false
 		r.lock = nil
-		r.segs = nil
 	}
 	r.state = stateTx
 	r.updateCCA() // the transmitter's own CCA goes busy for the TX duration
@@ -230,7 +262,6 @@ func (r *Radio) Sleep() {
 	if r.lock != nil {
 		r.lock.locked = false
 		r.lock = nil
-		r.segs = nil
 	}
 	r.state = stateSleep
 	r.sleepStart = r.medium.kernel.Now()
@@ -293,7 +324,6 @@ func (r *Radio) SetChannel(ch int) {
 	if r.lock != nil {
 		r.lock.locked = false
 		r.lock = nil
-		r.segs = r.segs[:0]
 	}
 	if r.state == stateRx {
 		r.state = stateIdle
@@ -348,24 +378,33 @@ func (r *Radio) beginLock(a *arrival) {
 	a.locked = true
 	r.lock = a
 	r.state = stateRx
-	r.segs = r.segs[:0]
-	r.segs = append(r.segs, segment{from: r.medium.kernel.Now(), interfMW: r.interferenceMW()})
+	r.seg.begin(r.medium.kernel.Now(), r.interferenceMW())
 }
 
-// closeSegment appends a new constant-interference segment boundary for the
-// locked frame.
+// closeSegment folds the open constant-interference span of the locked
+// frame and opens a new one at the current interference level.
 func (r *Radio) closeSegment() {
 	if r.lock == nil {
 		return
 	}
-	now := r.medium.kernel.Now()
-	last := &r.segs[len(r.segs)-1]
-	if last.from == now {
-		// Same-instant change: overwrite the interference level.
-		last.interfMW = r.interferenceMW()
+	r.seg.boundary(r.medium.kernel.Now(), r.interferenceMW(), r)
+}
+
+// foldSpan closes the open span [r.seg.from, to) against the locked frame:
+// one chunk-error evaluation and a running SINR minimum, exactly as the
+// naive end-of-lock timeline walk would compute for this span.
+func (r *Radio) foldSpan(to sim.Time) {
+	a := r.lock
+	dur := to.Sub(r.seg.from)
+	if dur <= 0 {
 		return
 	}
-	r.segs = append(r.segs, segment{from: now, interfMW: r.interferenceMW()})
+	sinr := a.powerMW / (r.noiseFloorMW + r.seg.interfMW)
+	bits := int(float64(a.t.bits) * float64(dur) / float64(a.t.airtime))
+	r.seg.success *= r.chunkSuccess(a.t.mode, a.t.rate, sinr, bits)
+	if sinr < r.seg.minLin {
+		r.seg.minLin = sinr
+	}
 }
 
 // arrivalEnd processes the trailing edge of a transmission. The arrival is
@@ -424,41 +463,22 @@ func (r *Radio) chunkSuccess(mode *phy.Mode, rate phy.RateIdx, sinr float64, bit
 	return v
 }
 
-// finishLock evaluates the locked frame's fate and notifies the listener.
+// finishLock folds the final span, evaluates the locked frame's fate from
+// the accumulated per-span products, and notifies the listener.
 func (r *Radio) finishLock(a *arrival) {
 	now := r.medium.kernel.Now()
 	r.Stats.RxAirtime += a.t.airtime
-	noiseMW := r.noiseFloorMW
-	sigMW := a.powerMW
-	total := a.t.airtime
-	success := 1.0
-	// Track the minimum SINR in linear space; log10 is monotone, so one
-	// conversion of the minimum matches converting every segment.
-	minLin := math.Inf(1)
-	for i, seg := range r.segs {
-		segEnd := now
-		if i+1 < len(r.segs) {
-			segEnd = r.segs[i+1].from
-		}
-		dur := segEnd.Sub(seg.from)
-		if dur <= 0 {
-			continue
-		}
-		sinr := sigMW / (noiseMW + seg.interfMW)
-		bits := int(float64(a.t.bits) * float64(dur) / float64(total))
-		success *= r.chunkSuccess(a.t.mode, a.t.rate, sinr, bits)
-		if sinr < minLin {
-			minLin = sinr
-		}
-	}
+	r.foldSpan(now)
+	success := r.seg.success
+	// The minimum SINR was tracked in linear space; log10 is monotone, so
+	// one conversion of the minimum matches converting every span.
 	minSINR := units.DB(1000)
-	if !math.IsInf(minLin, 1) {
-		if db := units.DBFromLinear(minLin); db < minSINR {
+	if !math.IsInf(r.seg.minLin, 1) {
+		if db := units.DBFromLinear(r.seg.minLin); db < minSINR {
 			minSINR = db
 		}
 	}
 	r.lock = nil
-	r.segs = r.segs[:0]
 	r.state = stateIdle
 
 	info := RxInfo{
@@ -470,17 +490,7 @@ func (r *Radio) finishLock(a *arrival) {
 		End:     now,
 	}
 	if r.rng.Float64() < success {
-		f := a.t.decoded
-		if f == nil {
-			var err error
-			f, err = frame.Unmarshal(a.t.wire)
-			if err != nil {
-				// The wire image was built by Marshal, so this means model
-				// corruption, not channel noise.
-				panic("medium: undecodable wire image: " + err.Error())
-			}
-			a.t.decoded = f
-		}
+		f := r.medium.decodeFrame(a.t)
 		r.Stats.RxFrames++
 		if tr := r.medium.Tracer; tr != nil {
 			tr.Trace(trace.Event{

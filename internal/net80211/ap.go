@@ -288,11 +288,10 @@ func (ap *AP) handleMgmt(f *frame.Frame, _ medium.RxInfo) {
 
 func (ap *AP) handleProbe(f *frame.Frame) {
 	// A probe request body is a bare IE list; respond to wildcard probes
-	// and to probes naming our SSID.
-	if ies, err := frame.ParseIEs(f.Body); err == nil {
-		if ssid := frame.FindIE(ies, frame.IESSID); ssid != nil && len(ssid.Data) > 0 && string(ssid.Data) != ap.ssid {
-			return
-		}
+	// and to probes naming our SSID. LookupIE reads the SSID as a view of
+	// the frame body — no element list is materialised.
+	if ssid, ok := frame.LookupIE(f.Body, frame.IESSID); ok && len(ssid) > 0 && string(ssid) != ap.ssid {
+		return
 	}
 	capBits := uint16(frame.CapESS)
 	if ap.privacy() {
@@ -459,14 +458,14 @@ func (ap *AP) handleData(f *frame.Frame) {
 		ap.queueFromDS(dst, src, payload)
 		if ap.port != nil {
 			ap.Stats.ToDS++
-			ap.port.Send(ether.Frame{Dst: dst, Src: src, Payload: payload})
+			ap.port.Send(ether.Frame{Dst: dst, Src: src, Payload: clonePayload(payload)})
 		}
 	case ap.Associated(dst):
 		ap.Stats.Relayed++
 		ap.queueFromDS(dst, src, payload)
 	case ap.port != nil:
 		ap.Stats.ToDS++
-		ap.port.Send(ether.Frame{Dst: dst, Src: src, Payload: payload})
+		ap.port.Send(ether.Frame{Dst: dst, Src: src, Payload: clonePayload(payload)})
 	}
 }
 
@@ -501,6 +500,13 @@ func (ap *AP) handlePSPoll(f *frame.Frame) {
 	out.MoreData = len(e.psBuf) > 0
 	ap.Stats.PSDelivered++
 	ap.dcf.Enqueue(out)
+}
+
+// clonePayload copies a payload that must outlive the rx callback: wired
+// delivery is scheduled as a future kernel event, while an unencrypted
+// payload still aliases the radio's pooled wire buffer.
+func clonePayload(p []byte) []byte {
+	return append([]byte(nil), p...)
 }
 
 // fromDS handles frames arriving from the wired side.

@@ -1,0 +1,119 @@
+package rate
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+// The controllers must satisfy the MAC's interface structurally.
+var (
+	_ mac.RateController = (*Fixed)(nil)
+	_ mac.RateController = (*ARF)(nil)
+	_ mac.RateController = (*SampleRate)(nil)
+	_ mac.RateController = (*Minstrel)(nil)
+)
+
+// Steady-state rate decisions must be allocation-free: per-peer state lives
+// in flat arrays (not maps of pointers), and SampleRate's probe-candidate
+// list is built in a reusable scratch buffer. One "decision" here is the
+// full MAC-visible cycle — SelectRate for the attempt plus OnTxResult for
+// its outcome — after a warm-up that establishes the peer state.
+func testDecisionZeroAlloc(t *testing.T, name string, rc mac.RateController) {
+	t.Helper()
+	peers := []frame.MACAddr{
+		{2, 0, 0, 0, 0, 1},
+		{2, 0, 0, 0, 0, 2},
+	}
+	// Warm-up: create peer state, populate stats, cross rate boundaries.
+	for i := 0; i < 400; i++ {
+		for _, p := range peers {
+			ri := rc.SelectRate(p, 1500, i%3)
+			rc.OnTxResult(p, ri, i%5 != 0)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		p := peers[i%len(peers)]
+		ri := rc.SelectRate(p, 1500, 0)
+		rc.OnTxResult(p, ri, i%7 != 0)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("%s: steady-state rate decision allocates %v/op, want 0", name, allocs)
+	}
+}
+
+func TestARFDecisionZeroAlloc(t *testing.T) {
+	testDecisionZeroAlloc(t, "arf", NewARF(phy.Mode80211b()))
+}
+
+func TestAARFDecisionZeroAlloc(t *testing.T) {
+	testDecisionZeroAlloc(t, "aarf", NewAARF(phy.Mode80211a()))
+}
+
+func TestSampleRateDecisionZeroAlloc(t *testing.T) {
+	testDecisionZeroAlloc(t, "samplerate", NewSampleRate(phy.Mode80211g(), rng.New(3)))
+}
+
+func TestMinstrelDecisionZeroAlloc(t *testing.T) {
+	testDecisionZeroAlloc(t, "minstrel", NewMinstrel(phy.Mode80211g(), rng.New(4)))
+}
+
+func TestFixedDecisionZeroAlloc(t *testing.T) {
+	testDecisionZeroAlloc(t, "fixed", NewFixed(phy.Mode80211b(), 3))
+}
+
+// Minstrel's windowed stats update runs every Window results; it must fold
+// in place without allocating, even right on the update boundary.
+func TestMinstrelWindowUpdateZeroAlloc(t *testing.T) {
+	m := NewMinstrel(phy.Mode80211b(), rng.New(5))
+	p := frame.MACAddr{2, 0, 0, 0, 0, 9}
+	for i := 0; i < 200; i++ {
+		m.OnTxResult(p, m.SelectRate(p, 1200, 0), i%3 != 0)
+	}
+	st := m.state(p)
+	// Position exactly one result before the window boundary.
+	for st.results%m.Window != m.Window-1 {
+		m.OnTxResult(p, 0, true)
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		m.OnTxResult(p, 1, true) // triggers updateStats
+	})
+	if allocs != 0 {
+		t.Fatalf("minstrel window update allocates %v/op, want 0", allocs)
+	}
+}
+
+// Peer state must survive array growth: interleaving a new peer's first
+// contact with an old peer's traffic must not reset or cross-wire states.
+func TestPeerArrayGrowthKeepsState(t *testing.T) {
+	mode := phy.Mode80211b()
+	a := NewARF(mode)
+	first := frame.MACAddr{2, 0, 0, 0, 0, 1}
+	// Climb first's rate.
+	for i := 0; i < 10; i++ {
+		a.OnTxResult(first, a.SelectRate(first, 1500, 0), true)
+	}
+	climbed := a.SelectRate(first, 1500, 0)
+	if climbed == mode.LowestBasic() {
+		t.Fatal("warm-up did not climb")
+	}
+	// Add many new peers to force repeated array growth.
+	for i := 2; i < 40; i++ {
+		p := frame.MACAddr{2, 0, 0, 0, 0, byte(i)}
+		a.OnTxResult(p, a.SelectRate(p, 1500, 0), false)
+	}
+	if got := a.SelectRate(first, 1500, 0); got != climbed {
+		t.Fatalf("first peer's rate lost across growth: %d -> %d", climbed, got)
+	}
+	for i := 2; i < 40; i++ {
+		p := frame.MACAddr{2, 0, 0, 0, 0, byte(i)}
+		if got := a.SelectRate(p, 1500, 0); got != mode.LowestBasic() {
+			t.Fatalf("peer %d cross-wired: rate %d", i, got)
+		}
+	}
+}

@@ -47,6 +47,15 @@ type arfState struct {
 	succNeeded int // AARF: adaptive success threshold
 }
 
+// arfPeer binds a destination address to its state in the controller's flat
+// peer array. A MAC talks to a handful of peers (usually one), so a linear
+// scan with a last-hit cache beats a map lookup and — unlike map inserts —
+// steady state never allocates (see peer lookup note on ARF.state).
+type arfPeer struct {
+	addr frame.MACAddr
+	arfState
+}
+
 // ARF is Auto Rate Fallback: step up after N consecutive successes, step
 // down after two consecutive failures; a failure on the first frame after a
 // step-up (the "probe") steps straight back down.
@@ -59,12 +68,13 @@ type ARF struct {
 	adaptive     bool
 	MaxThreshold int
 
-	states map[frame.MACAddr]*arfState
+	peers []arfPeer
+	last  int // index of the most recently used peer
 }
 
 // NewARF builds the classic ARF controller starting at the lowest rate.
 func NewARF(mode *phy.Mode) *ARF {
-	return &ARF{Mode: mode, SuccessThreshold: 10, states: make(map[frame.MACAddr]*arfState)}
+	return &ARF{Mode: mode, SuccessThreshold: 10}
 }
 
 // NewAARF builds the adaptive variant: the success threshold doubles (up to
@@ -85,13 +95,26 @@ func (a *ARF) Name() string {
 	return "arf"
 }
 
+// state returns (creating on first contact) the per-destination state. The
+// returned pointer is into the peer array and must not be held across calls
+// — growth may move it. After warm-up every lookup is a cache hit or a
+// short scan: zero allocations per decision.
 func (a *ARF) state(dst frame.MACAddr) *arfState {
-	s, ok := a.states[dst]
-	if !ok {
-		s = &arfState{idx: a.Mode.LowestBasic(), succNeeded: a.SuccessThreshold}
-		a.states[dst] = s
+	if a.last < len(a.peers) && a.peers[a.last].addr == dst {
+		return &a.peers[a.last].arfState
 	}
-	return s
+	for i := range a.peers {
+		if a.peers[i].addr == dst {
+			a.last = i
+			return &a.peers[i].arfState
+		}
+	}
+	a.peers = append(a.peers, arfPeer{
+		addr:     dst,
+		arfState: arfState{idx: a.Mode.LowestBasic(), succNeeded: a.SuccessThreshold},
+	})
+	a.last = len(a.peers) - 1
+	return &a.peers[a.last].arfState
 }
 
 // SelectRate implements the controller interface.

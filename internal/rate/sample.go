@@ -28,8 +28,17 @@ type SampleRate struct {
 	// SampleEvery sends one probe every N packets (default 10).
 	SampleEvery int
 
-	rng    *rng.Source
-	states map[frame.MACAddr]*srState
+	rng   *rng.Source
+	peers []srPeer
+	last  int // index of the most recently used peer
+	// scratch backs the per-decision probe-candidate build, reused across
+	// decisions so the probe path stays allocation-free.
+	scratch []phy.RateIdx
+}
+
+type srPeer struct {
+	addr frame.MACAddr
+	srState
 }
 
 type srState struct {
@@ -47,23 +56,33 @@ func NewSampleRate(mode *phy.Mode, src *rng.Source) *SampleRate {
 		Mode:        mode,
 		SampleEvery: 10,
 		rng:         src.Split("samplerate"),
-		states:      make(map[frame.MACAddr]*srState),
+		scratch:     make([]phy.RateIdx, 0, mode.NumRates()),
 	}
 }
 
 // Name returns the controller name for experiment tables.
 func (s *SampleRate) Name() string { return "samplerate" }
 
+// state returns (creating on first contact) the per-destination state from
+// the flat peer array; see the allocation note on ARF.state. The per-rate
+// stats slice is the only allocation, paid once per peer at first contact.
 func (s *SampleRate) state(dst frame.MACAddr) *srState {
-	st, ok := s.states[dst]
-	if !ok {
-		st = &srState{stats: make([]rateStat, s.Mode.NumRates()), probeIdx: -1}
-		for i := range st.stats {
-			st.stats[i].ewmaProb = -1
-		}
-		s.states[dst] = st
+	if s.last < len(s.peers) && s.peers[s.last].addr == dst {
+		return &s.peers[s.last].srState
 	}
-	return st
+	for i := range s.peers {
+		if s.peers[i].addr == dst {
+			s.last = i
+			return &s.peers[i].srState
+		}
+	}
+	st := srState{stats: make([]rateStat, s.Mode.NumRates()), probeIdx: -1}
+	for i := range st.stats {
+		st.stats[i].ewmaProb = -1
+	}
+	s.peers = append(s.peers, srPeer{addr: dst, srState: st})
+	s.last = len(s.peers) - 1
+	return &s.peers[s.last].srState
 }
 
 // prob returns the estimated delivery probability, optimistic (1.0) for
@@ -116,8 +135,9 @@ func (s *SampleRate) SelectRate(dst frame.MACAddr, bytes, attempt int) phy.RateI
 	if s.SampleEvery > 0 && st.counter%s.SampleEvery == 0 {
 		// Probe a random rate whose lossless airtime beats the current
 		// best's expected time — the SampleRate "could be faster" rule.
+		// The candidate list is built in the controller's reusable scratch.
 		bestT := s.expectedTxTime(st, best, bytes)
-		candidates := make([]phy.RateIdx, 0, s.Mode.NumRates())
+		candidates := s.scratch[:0]
 		for i := 0; i < s.Mode.NumRates(); i++ {
 			ri := phy.RateIdx(i)
 			if ri == best {
@@ -168,8 +188,14 @@ type Minstrel struct {
 	// Window is the number of results per stats update (default 25).
 	Window int
 
-	rng    *rng.Source
-	states map[frame.MACAddr]*minstrelState
+	rng   *rng.Source
+	peers []minstrelPeer
+	last  int // index of the most recently used peer
+}
+
+type minstrelPeer struct {
+	addr frame.MACAddr
+	minstrelState
 }
 
 type minstrelState struct {
@@ -187,27 +213,35 @@ func NewMinstrel(mode *phy.Mode, src *rng.Source) *Minstrel {
 		SamplePercent: 10,
 		Window:        25,
 		rng:           src.Split("minstrel"),
-		states:        make(map[frame.MACAddr]*minstrelState),
 	}
 }
 
 // Name returns the controller name for experiment tables.
 func (m *Minstrel) Name() string { return "minstrel" }
 
+// state returns (creating on first contact) the per-destination state from
+// the flat peer array; see the allocation note on ARF.state.
 func (m *Minstrel) state(dst frame.MACAddr) *minstrelState {
-	st, ok := m.states[dst]
-	if !ok {
-		st = &minstrelState{
-			stats:      make([]rateStat, m.Mode.NumRates()),
-			best:       m.Mode.LowestBasic(),
-			secondBest: m.Mode.LowestBasic(),
-		}
-		for i := range st.stats {
-			st.stats[i].ewmaProb = -1
-		}
-		m.states[dst] = st
+	if m.last < len(m.peers) && m.peers[m.last].addr == dst {
+		return &m.peers[m.last].minstrelState
 	}
-	return st
+	for i := range m.peers {
+		if m.peers[i].addr == dst {
+			m.last = i
+			return &m.peers[i].minstrelState
+		}
+	}
+	st := minstrelState{
+		stats:      make([]rateStat, m.Mode.NumRates()),
+		best:       m.Mode.LowestBasic(),
+		secondBest: m.Mode.LowestBasic(),
+	}
+	for i := range st.stats {
+		st.stats[i].ewmaProb = -1
+	}
+	m.peers = append(m.peers, minstrelPeer{addr: dst, minstrelState: st})
+	m.last = len(m.peers) - 1
+	return &m.peers[m.last].minstrelState
 }
 
 // throughput estimates goodput for rate i: prob × bitrate. Airtime scaling

@@ -28,14 +28,20 @@ const (
 
 // Event is one trace record.
 type Event struct {
-	At     sim.Time
-	Node   string
-	Kind   Kind
-	Frame  *frame.Frame // nil for non-frame events
+	At   sim.Time
+	Node string
+	Kind Kind
+	// Frame is nil for non-frame events. It is a view into live simulation
+	// state (rx events carry the medium's pooled zero-copy decode, tx
+	// events the sender's in-flight frame), valid only for the duration of
+	// the Trace call: tracers that buffer events must store
+	// Frame.Clone() — or, like the built-in tracers, render what they
+	// need before returning.
+	Frame  *frame.Frame
 	Detail string
 }
 
-// Tracer consumes events.
+// Tracer consumes events synchronously from the simulation hot path.
 type Tracer interface {
 	Trace(ev Event)
 }
