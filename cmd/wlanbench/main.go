@@ -63,6 +63,7 @@ func main() {
 	baseline := flag.String("baseline", "", "older report to embed and compare against")
 	out := flag.String("out", "BENCH_PR1.json", "output path (- for stdout)")
 	note := flag.String("note", "", "free-form measurement note recorded in the report (';'-separated)")
+	failAllocs := flag.String("failallocs", "", "report whose per-experiment allocs/op are a hard ceiling: exit non-zero on any increase (allocs are deterministic, unlike wall times)")
 	flag.Parse()
 
 	harness.Workers = *workers
@@ -93,21 +94,38 @@ func main() {
 
 	var base *Report
 	if *baseline != "" {
-		raw, err := os.ReadFile(*baseline)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wlanbench: %v\n", err)
-			os.Exit(1)
-		}
-		base = &Report{}
-		if err := json.Unmarshal(raw, base); err != nil {
-			fmt.Fprintf(os.Stderr, "wlanbench: parse %s: %v\n", *baseline, err)
-			os.Exit(1)
-		}
+		base = readReport(*baseline)
 		rep.Baseline = base
 	}
+	var ceiling *Report
+	if *failAllocs != "" {
+		ceiling = readReport(*failAllocs)
+	}
 
+	allocsRegressed := false
 	for _, e := range exps {
 		r := measure(e, *runs, !*full)
+		if ceiling != nil {
+			matched := false
+			for _, c := range ceiling.Experiments {
+				if c.ID != r.ID {
+					continue
+				}
+				matched = true
+				if r.AllocsPerOp > c.AllocsPerOp {
+					allocsRegressed = true
+					fmt.Fprintf(os.Stderr, "wlanbench: %s allocs/op regressed: %d > %d (ceiling %s)\n",
+						r.ID, r.AllocsPerOp, c.AllocsPerOp, *failAllocs)
+				}
+			}
+			if !matched {
+				// A new or renamed experiment has no ceiling yet: surface it
+				// loudly so the ceiling report gets regenerated, but do not
+				// fail — the ceiling file cannot predate the experiment.
+				fmt.Fprintf(os.Stderr, "wlanbench: warning: %s has no allocs/op ceiling in %s — unenforced until that report is regenerated\n",
+					r.ID, *failAllocs)
+			}
+		}
 		if base != nil {
 			for _, b := range base.Experiments {
 				if b.ID == r.ID && r.NsPerOp > 0 && b.NsPerOp > 0 {
@@ -132,12 +150,33 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
+		if allocsRegressed {
+			os.Exit(1)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "wlanbench: %v\n", err)
 		os.Exit(1)
 	}
+	if allocsRegressed {
+		os.Exit(1)
+	}
+}
+
+// readReport loads a wlanbench JSON report or exits.
+func readReport(path string) *Report {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlanbench: %v\n", err)
+		os.Exit(1)
+	}
+	r := &Report{}
+	if err := json.Unmarshal(raw, r); err != nil {
+		fmt.Fprintf(os.Stderr, "wlanbench: parse %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return r
 }
 
 // measure times runs executions of e, reporting per-op means and the

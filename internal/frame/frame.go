@@ -450,11 +450,18 @@ func SnapHeader(etherType uint16) []byte {
 	return []byte{0xaa, 0xaa, 0x03, 0x00, 0x00, 0x00, byte(etherType >> 8), byte(etherType)}
 }
 
+// AppendSNAP appends an LLC/SNAP header followed by the payload onto dst and
+// returns the extended slice. It is the allocation-free form of EncapSNAP:
+// the transmit fast path builds every data-frame body into a reused
+// per-node buffer, so steady-state sends never allocate an encapsulation.
+func AppendSNAP(dst []byte, etherType uint16, payload []byte) []byte {
+	dst = append(dst, 0xaa, 0xaa, 0x03, 0x00, 0x00, 0x00, byte(etherType>>8), byte(etherType))
+	return append(dst, payload...)
+}
+
 // EncapSNAP prepends an LLC/SNAP header to a payload.
 func EncapSNAP(etherType uint16, payload []byte) []byte {
-	out := make([]byte, 0, SnapHeaderLen+len(payload))
-	out = append(out, SnapHeader(etherType)...)
-	return append(out, payload...)
+	return AppendSNAP(make([]byte, 0, SnapHeaderLen+len(payload)), etherType, payload)
 }
 
 // DecapSNAP splits an LLC/SNAP body into EtherType and payload.

@@ -22,8 +22,17 @@ type DCF struct {
 
 	receiver Receiver
 
-	queue []*txJob
-	cur   *txJob
+	// queue is a FIFO ring: qHead indexes the next MSDU to transmit, and
+	// the slice resets to its base whenever it drains, so steady-state
+	// enqueue/dequeue reuses one backing array forever. jobFree recycles
+	// txJob structs the same way (see releaseJob).
+	queue   []*txJob
+	qHead   int
+	jobFree []*txJob
+	cur     *txJob
+	// reserved counts queue slots promised by TryReserve but not yet
+	// consumed by Enqueue; they are part of the queue's occupancy.
+	reserved int
 
 	// Channel state tracking.
 	busy         bool     // physical CCA (includes own TX)
@@ -42,8 +51,18 @@ type DCF struct {
 	respTimer sim.Timer
 
 	// Committed SIFS response in flight (scheduled or transmitting).
-	sifsEvent sim.Timer
-	lastTx    lastTxKind
+	// Committed actions are queued in sifsQ — a FIFO ring drained in
+	// schedule order by sifsFireFn — so the hot path never allocates a
+	// closure or a control frame: each entry embeds the prepared response.
+	sifsEvent  sim.Timer
+	sifsQ      []sifsEntry
+	sifsHead   int
+	sifsFireFn func()
+	lastTx     lastTxKind
+
+	// rtsFrame is the reusable RTS scratch: the radio serialises frames at
+	// Transmit time, so one header struct per DCF serves every RTS.
+	rtsFrame frame.Frame
 
 	// Hot-path event names and callbacks, built once at construction so
 	// scheduling a timer never concatenates strings or allocates closures.
@@ -85,6 +104,7 @@ func New(k *sim.Kernel, radio *medium.Radio, cfg Config, rc RateController, src 
 	d.tryAccessFn = d.tryAccess
 	d.ctsTimeoutFn = d.onCTSTimeout
 	d.ackTimeoutFn = d.onACKTimeout
+	d.sifsFireFn = d.sifsFire
 	radio.SetListener(d)
 	return d
 }
@@ -102,31 +122,61 @@ func (d *DCF) Mode() *phy.Mode { return d.mode }
 func (d *DCF) Stats() Stats { return d.stats }
 
 // QueueLen returns the number of queued MSDUs (excluding the in-flight one).
-func (d *DCF) QueueLen() int { return len(d.queue) }
+func (d *DCF) QueueLen() int { return len(d.queue) - d.qHead }
+
+// QueueCap returns the transmit queue capacity in MSDUs. Send paths size
+// their frame pools from it: the MAC never holds more than QueueCap+1
+// frames (the queue plus the in-flight job) at once.
+func (d *DCF) QueueCap() int { return d.cfg.QueueCap }
 
 // Busy reports whether the MAC has work in flight or queued.
-func (d *DCF) Busy() bool { return d.cur != nil || len(d.queue) > 0 }
+func (d *DCF) Busy() bool { return d.cur != nil || d.QueueLen() > 0 }
 
 // SetReceiver installs the upward delivery callback.
 func (d *DCF) SetReceiver(r Receiver) { d.receiver = r }
 
-// TryReserve reports whether the transmit queue has room for another MSDU,
-// counting a queue drop when it does not — exactly as Enqueue would. It
-// lets send paths skip SNAP encapsulation and frame construction for MSDUs
-// the queue is certain to refuse (the common case under saturation).
+// TryReserve reserves a transmit-queue slot for an MSDU the caller is about
+// to build, counting a queue drop when the queue is full — exactly as
+// Enqueue would. It lets send paths skip SNAP encapsulation and frame
+// construction for MSDUs the queue is certain to refuse (the common case
+// under saturation), and it pins the pooled frame hand-off: a successful
+// reservation guarantees the following Enqueue is accepted. The reservation
+// is settled by the next Enqueue call — success or failure — or by Release;
+// abandoning it any other way would permanently shrink the queue.
 func (d *DCF) TryReserve() bool {
-	if len(d.queue) >= d.cfg.QueueCap {
+	if d.QueueLen()+d.reserved >= d.cfg.QueueCap {
 		d.stats.QueueDrops++
 		return false
 	}
+	d.reserved++
 	return true
+}
+
+// Release returns an unused TryReserve slot to the queue. Send paths call
+// it when frame construction fails after a successful reservation.
+func (d *DCF) Release() {
+	if d.reserved > 0 {
+		d.reserved--
+	}
 }
 
 // Enqueue accepts an MSDU (data or management frame) for transmission. The
 // caller sets the address fields; the MAC owns Seq/Frag/Retry/Duration. It
-// returns false when the queue is full.
+// returns false when the queue is full. Ownership of f (and its body) moves
+// to the MAC until the MSDU is delivered or dropped; see the package
+// documentation on pooled transmit frames.
+//
+// An outstanding TryReserve reservation is settled here whether or not the
+// enqueue succeeds, so a failing Enqueue can never leak the reservation.
 func (d *DCF) Enqueue(f *frame.Frame) bool {
-	if len(d.queue) >= d.cfg.QueueCap {
+	if d.reserved > 0 {
+		// Settling a reservation keeps QueueLen+reserved constant, so the
+		// occupancy invariant below still holds without a recheck.
+		d.reserved--
+	} else if d.QueueLen()+d.reserved >= d.cfg.QueueCap {
+		// Count outstanding reservations as occupancy, exactly like
+		// TryReserve: otherwise an unreserved enqueue could fill the queue
+		// past the QueueCap bound the transmit pools size themselves by.
 		d.stats.QueueDrops++
 		return false
 	}
@@ -137,12 +187,21 @@ func (d *DCF) Enqueue(f *frame.Frame) bool {
 	return true
 }
 
-// makeJob assigns the sequence number and performs fragmentation.
+// makeJob assigns the sequence number and performs fragmentation. Jobs are
+// recycled through jobFree; the generation counter distinguishes reuses so
+// committed SIFS actions referencing a finished job cannot fire against its
+// successor.
 func (d *DCF) makeJob(f *frame.Frame) *txJob {
 	seq := d.seq
 	d.seq = (d.seq + 1) % frame.MaxSeq
 
-	job := &txJob{}
+	var job *txJob
+	if n := len(d.jobFree); n > 0 {
+		job = d.jobFree[n-1]
+		d.jobFree = d.jobFree[:n-1]
+	} else {
+		job = &txJob{}
+	}
 	mpduLen := f.WireLen()
 	group := f.Addr1.IsGroup()
 	fragPayload := d.cfg.FragThreshold - frame.DataHdrLen - frame.FCSLen
@@ -252,11 +311,28 @@ func (d *DCF) resetCW() { d.cw = d.cfg.CWmin }
 // access: enqueue, CCA idle, NAV expiry, TX completion, timeouts.
 func (d *DCF) tryAccess() {
 	if d.cur == nil {
-		if len(d.queue) == 0 {
+		if d.qHead == len(d.queue) {
 			return
 		}
-		d.cur = d.queue[0]
-		d.queue = d.queue[1:]
+		d.cur = d.queue[d.qHead]
+		d.queue[d.qHead] = nil // drop the ring's reference for the job pool
+		d.qHead++
+		switch {
+		case d.qHead == len(d.queue):
+			// Drained: rewind so the backing array is reused forever.
+			d.queue = d.queue[:0]
+			d.qHead = 0
+		case d.qHead >= 64 && d.qHead*2 >= len(d.queue):
+			// A saturated queue never fully drains, so the consumed prefix
+			// would grow one slot per delivered MSDU; compact in place once
+			// it dominates. Amortized O(1) per pop, no allocation.
+			n := copy(d.queue, d.queue[d.qHead:])
+			for i := n; i < len(d.queue); i++ {
+				d.queue[i] = nil
+			}
+			d.queue = d.queue[:n]
+			d.qHead = 0
+		}
 	}
 	if d.radio.Transmitting() || d.pending != respNone || d.sifsEvent.Scheduled() {
 		return
@@ -337,10 +413,13 @@ func (d *DCF) sendRTS(job *txJob) {
 		d.mode.Airtime(ctrlRate, frame.CTSLen) +
 		d.mode.Airtime(job.rate, mpdu.WireLen()) +
 		d.mode.Airtime(d.mode.ControlRate(job.rate), frame.ACKLen)
-	rts := frame.NewRTS(job.dst(), d.cfg.Address, durToUs(nav))
+	d.rtsFrame = frame.Frame{
+		Type: frame.TypeControl, Subtype: frame.SubtypeRTS,
+		Addr1: job.dst(), Addr2: d.cfg.Address, Duration: durToUs(nav),
+	}
 	d.lastTx = txRTS
 	d.stats.RTSTx++
-	d.radio.Transmit(rts, ctrlRate)
+	d.radio.Transmit(&d.rtsFrame, ctrlRate)
 }
 
 func (d *DCF) sendDataMPDU(job *txJob) {
@@ -442,9 +521,19 @@ func (d *DCF) onACKTimeout() {
 	d.tryAccess()
 }
 
+// releaseJob recycles a completed job: every field is reset except the
+// generation, which advances so stale SIFS commitments (and any other
+// holder of the old (job, gen) pair) can detect the reuse.
+func (d *DCF) releaseJob(j *txJob) {
+	g := j.gen + 1
+	*j = txJob{gen: g}
+	d.jobFree = append(d.jobFree, j)
+}
+
 // dropJob abandons the current MSDU at its retry limit.
 func (d *DCF) dropJob() {
 	d.stats.MSDUDropped++
+	d.releaseJob(d.cur)
 	d.cur = nil
 	d.resetCW()
 	d.drawBackoff()
@@ -462,24 +551,93 @@ func (d *DCF) finishJob(lastFragment bool) {
 		job.fragIdx++
 		job.attempt = 0
 		job.src, job.lrc = 0, 0
-		d.scheduleSIFS(func() {
-			if d.cur == job {
-				d.transmitCurrent()
-			}
-		})
+		e := d.commitSIFS()
+		e.action = sifsFrag
+		e.job, e.gen = job, job.gen
 		return
 	}
 	d.stats.MSDUDelivered++
+	d.releaseJob(d.cur)
 	d.cur = nil
 	d.resetCW()
 	d.drawBackoff()
 	d.tryAccess()
 }
 
-// scheduleSIFS commits a response transmission one SIFS from now; committed
-// responses ignore CCA by design.
-func (d *DCF) scheduleSIFS(fn func()) {
-	d.sifsEvent = d.k.Schedule(d.mode.SIFS, d.nameSIFS, fn)
+// sifsAction selects what a committed SIFS entry does when it fires.
+type sifsAction uint8
+
+const (
+	// sifsRespond transmits the prepared control response in the entry.
+	sifsRespond sifsAction = iota
+	// sifsData sends the committed job's data MPDU (the post-CTS step).
+	sifsData
+	// sifsFrag advances the committed job to its next fragment.
+	sifsFrag
+)
+
+// sifsEntry is one committed SIFS action. Entries embed the prepared
+// response frame so committing never allocates; for job actions the
+// (job, gen) pair guards against the job being recycled before the timer
+// fires.
+type sifsEntry struct {
+	action sifsAction
+	kind   lastTxKind // txCTS or txACK for sifsRespond
+	rate   phy.RateIdx
+	resp   frame.Frame
+	job    *txJob
+	gen    uint64
+}
+
+// commitSIFS appends a SIFS commitment to the FIFO ring, schedules its
+// firing one SIFS from now (committed responses ignore CCA by design), and
+// returns the entry for the caller to fill. Entries fire strictly in commit
+// order: the kernel breaks timestamp ties by schedule order, so the ring
+// head always matches the event that pops it.
+func (d *DCF) commitSIFS() *sifsEntry {
+	if d.sifsHead == len(d.sifsQ) {
+		// Drained: rewind so the backing array is reused forever.
+		d.sifsQ = d.sifsQ[:0]
+		d.sifsHead = 0
+	}
+	d.sifsQ = append(d.sifsQ, sifsEntry{})
+	d.sifsEvent = d.k.Schedule(d.mode.SIFS, d.nameSIFS, d.sifsFireFn)
+	return &d.sifsQ[len(d.sifsQ)-1]
+}
+
+// sifsFire pops and executes the oldest committed SIFS action. The entry
+// pointer stays valid for the whole call: nothing on the transmit path
+// appends to sifsQ.
+func (d *DCF) sifsFire() {
+	if d.sifsHead >= len(d.sifsQ) {
+		return
+	}
+	e := &d.sifsQ[d.sifsHead]
+	d.sifsHead++
+	switch e.action {
+	case sifsRespond:
+		// The radio may have started transmitting or dozed (power save)
+		// since the response was committed; a sleeping radio cannot respond.
+		if d.radio.Transmitting() || d.radio.Asleep() {
+			return
+		}
+		d.lastTx = e.kind
+		if e.kind == txCTS {
+			d.stats.CTSTx++
+		} else {
+			d.stats.ACKTx++
+		}
+		d.radio.Transmit(&e.resp, e.rate)
+	case sifsData:
+		if d.cur == e.job && e.job.gen == e.gen &&
+			!d.radio.Transmitting() && !d.radio.Asleep() {
+			d.sendDataMPDU(e.job)
+		}
+	case sifsFrag:
+		if d.cur == e.job && e.job.gen == e.gen {
+			d.transmitCurrent()
+		}
+	}
 }
 
 // OnRxError implements medium.Listener: an FCS-errored reception imposes
@@ -555,15 +713,9 @@ func (d *DCF) handleRTS(f *frame.Frame, info medium.RxInfo) {
 	if dur < 0 {
 		dur = 0
 	}
-	cts := frame.NewCTS(f.Addr2, durToUs(dur))
-	d.scheduleSIFS(func() {
-		if d.radio.Transmitting() || d.radio.Asleep() {
-			return
-		}
-		d.lastTx = txCTS
-		d.stats.CTSTx++
-		d.radio.Transmit(cts, ctrl)
-	})
+	e := d.commitSIFS()
+	e.action, e.kind, e.rate = sifsRespond, txCTS, ctrl
+	e.resp = frame.Frame{Type: frame.TypeControl, Subtype: frame.SubtypeCTS, Addr1: f.Addr2, Duration: durToUs(dur)}
 }
 
 func (d *DCF) handleCTS(f *frame.Frame, info medium.RxInfo) {
@@ -575,11 +727,9 @@ func (d *DCF) handleCTS(f *frame.Frame, info medium.RxInfo) {
 	job := d.cur
 	job.gotCTS = true
 	job.src = 0 // successful RTS/CTS resets the short retry counter
-	d.scheduleSIFS(func() {
-		if d.cur == job && !d.radio.Transmitting() && !d.radio.Asleep() {
-			d.sendDataMPDU(job)
-		}
-	})
+	e := d.commitSIFS()
+	e.action = sifsData
+	e.job, e.gen = job, job.gen
 }
 
 func (d *DCF) handleACK() {
@@ -605,17 +755,9 @@ func (d *DCF) sendACK(f *frame.Frame, info medium.RxInfo) {
 			dur = 0
 		}
 	}
-	ack := frame.NewACK(f.Addr2, durToUs(dur))
-	d.scheduleSIFS(func() {
-		// The radio may have started transmitting or dozed (power save)
-		// since the response was committed; a sleeping radio cannot ACK.
-		if d.radio.Transmitting() || d.radio.Asleep() {
-			return
-		}
-		d.lastTx = txACK
-		d.stats.ACKTx++
-		d.radio.Transmit(ack, ctrl)
-	})
+	e := d.commitSIFS()
+	e.action, e.kind, e.rate = sifsRespond, txACK, ctrl
+	e.resp = frame.Frame{Type: frame.TypeControl, Subtype: frame.SubtypeACK, Addr1: f.Addr2, Duration: durToUs(dur)}
 }
 
 func (d *DCF) deliverUp(f *frame.Frame, info medium.RxInfo) {

@@ -7,71 +7,121 @@ import (
 // dedupCache implements the receiver duplicate-detection cache: one
 // (sequence, fragment) tuple per transmitter address, consulted only when
 // the Retry bit is set, per the standard.
+//
+// The per-transmitter state lives in a flat array scanned linearly with a
+// last-hit cache, mirroring the rate-controller peer arrays: a station
+// hears a handful of transmitters, so the scan is shorter than a map
+// lookup and — unlike map inserts — steady state never allocates.
 type dedupCache struct {
-	last map[frame.MACAddr]uint32
+	addrs []frame.MACAddr
+	last  []uint32
+	hit   int // index of the most recently used transmitter
 }
 
 func newDedupCache() *dedupCache {
-	return &dedupCache{last: make(map[frame.MACAddr]uint32)}
+	return &dedupCache{}
 }
 
 func key(f *frame.Frame) uint32 { return uint32(f.Seq)<<4 | uint32(f.Frag) }
+
+// index returns the slot for a transmitter, creating one on first contact.
+// Growth may move the arrays, so indices must not be held across calls.
+func (c *dedupCache) index(addr frame.MACAddr) (int, bool) {
+	if c.hit < len(c.addrs) && c.addrs[c.hit] == addr {
+		return c.hit, true
+	}
+	for i := range c.addrs {
+		if c.addrs[i] == addr {
+			c.hit = i
+			return i, true
+		}
+	}
+	c.addrs = append(c.addrs, addr)
+	c.last = append(c.last, 0)
+	c.hit = len(c.addrs) - 1
+	return c.hit, false
+}
 
 // isDuplicate reports whether f repeats the previously accepted MPDU from
 // its transmitter. Non-duplicates are recorded.
 func (c *dedupCache) isDuplicate(f *frame.Frame) bool {
 	k := key(f)
-	if f.Retry {
-		if prev, ok := c.last[f.Addr2]; ok && prev == k {
-			return true
-		}
+	i, known := c.index(f.Addr2)
+	if f.Retry && known && c.last[i] == k {
+		return true
 	}
-	c.last[f.Addr2] = k
+	c.last[i] = k
 	return false
 }
 
-// partial is an MSDU being reassembled from fragments.
+// partial is an MSDU being reassembled from fragments. Slots are recycled:
+// body keeps its capacity across MSDUs from the same transmitter, so
+// steady-state reassembly allocates nothing once warmed.
 type partial struct {
+	addr     frame.MACAddr
 	seq      uint16
 	nextFrag uint8
-	first    *frame.Frame
+	active   bool
+	first    frame.Frame
 	body     []byte
 }
 
 // reassembler rebuilds fragmented MSDUs per transmitter. Out-of-order or
 // interleaved fragments abort the partial (the sender would have to retry
-// the whole MSDU anyway).
+// the whole MSDU anyway). Like dedupCache it keeps per-transmitter state in
+// a flat array with a last-hit cache instead of a map.
 type reassembler struct {
-	partials map[frame.MACAddr]*partial
+	parts []partial
+	hit   int
+	// out is the scratch for completed multi-fragment MSDUs. Like every
+	// delivered rx frame it is a view, valid only for the duration of the
+	// delivery call; the next completed reassembly reuses it.
+	out frame.Frame
 }
 
 func newReassembler() *reassembler {
-	return &reassembler{partials: make(map[frame.MACAddr]*partial)}
+	return &reassembler{}
+}
+
+// slot returns the partial-reassembly slot for a transmitter, creating one
+// on first contact. Growth may move the array, so the pointer must not be
+// held across calls.
+func (r *reassembler) slot(addr frame.MACAddr) *partial {
+	if r.hit < len(r.parts) && r.parts[r.hit].addr == addr {
+		return &r.parts[r.hit]
+	}
+	for i := range r.parts {
+		if r.parts[i].addr == addr {
+			r.hit = i
+			return &r.parts[i]
+		}
+	}
+	r.parts = append(r.parts, partial{addr: addr})
+	r.hit = len(r.parts) - 1
+	return &r.parts[r.hit]
 }
 
 // add consumes an accepted in-order MPDU and returns a complete MSDU frame
 // when available, or nil while reassembly is in progress.
 func (r *reassembler) add(f *frame.Frame) *frame.Frame {
+	p := r.slot(f.Addr2)
 	if f.Frag == 0 && !f.MoreFrag {
-		delete(r.partials, f.Addr2) // a fresh unfragmented MSDU cancels any partial
+		p.active = false // a fresh unfragmented MSDU cancels any partial
 		return f
 	}
 	if f.Frag == 0 {
-		cp := *f
+		p.active = true
+		p.seq = f.Seq
+		p.nextFrag = 1
+		p.first = *f
 		// The partial outlives the rx callback, and f.Body is a view into a
-		// pooled wire buffer; body above holds the copy, so drop the alias.
-		cp.Body = nil
-		r.partials[f.Addr2] = &partial{
-			seq:      f.Seq,
-			nextFrag: 1,
-			first:    &cp,
-			body:     append([]byte(nil), f.Body...),
-		}
+		// pooled wire buffer; body below holds the copy, so drop the alias.
+		p.first.Body = nil
+		p.body = append(p.body[:0], f.Body...)
 		return nil
 	}
-	p := r.partials[f.Addr2]
-	if p == nil || p.seq != f.Seq || p.nextFrag != f.Frag {
-		delete(r.partials, f.Addr2)
+	if !p.active || p.seq != f.Seq || p.nextFrag != f.Frag {
+		p.active = false
 		return nil
 	}
 	p.body = append(p.body, f.Body...)
@@ -79,9 +129,9 @@ func (r *reassembler) add(f *frame.Frame) *frame.Frame {
 	if f.MoreFrag {
 		return nil
 	}
-	delete(r.partials, f.Addr2)
-	out := *p.first
-	out.Body = p.body
-	out.MoreFrag = false
-	return &out
+	p.active = false
+	r.out = p.first
+	r.out.Body = p.body
+	r.out.MoreFrag = false
+	return &r.out
 }

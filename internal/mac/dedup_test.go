@@ -1,0 +1,289 @@
+package mac
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/units"
+)
+
+var (
+	ta1 = frame.MACAddr{2, 0, 0, 0, 0, 1}
+	ta2 = frame.MACAddr{2, 0, 0, 0, 0, 2}
+	ta3 = frame.MACAddr{2, 0, 0, 0, 0, 3}
+)
+
+// df builds a data MPDU as the dedup/reassembly layer sees it.
+func df(ta frame.MACAddr, seq uint16, fragN uint8, more, retry bool, body []byte) *frame.Frame {
+	return &frame.Frame{
+		Type: frame.TypeData, Subtype: frame.SubtypeData,
+		Addr2: ta, Seq: seq, Frag: fragN, MoreFrag: more, Retry: retry,
+		Body: body,
+	}
+}
+
+func TestDedupFiltersRetriesPerTransmitter(t *testing.T) {
+	c := newDedupCache()
+	if c.isDuplicate(df(ta1, 10, 0, false, false, nil)) {
+		t.Fatal("first frame flagged as duplicate")
+	}
+	if !c.isDuplicate(df(ta1, 10, 0, false, true, nil)) {
+		t.Fatal("retry of the accepted tuple not filtered")
+	}
+	// The same tuple from another transmitter is not a duplicate, and the
+	// interleaving must not disturb ta1's recorded state (last-hit cache).
+	if c.isDuplicate(df(ta2, 10, 0, false, true, nil)) {
+		t.Fatal("ta2's first frame filtered because of ta1's state")
+	}
+	if !c.isDuplicate(df(ta1, 10, 0, false, true, nil)) {
+		t.Fatal("ta1 state lost after interleaved transmitter")
+	}
+	// Without the Retry bit an identical tuple is accepted (fresh MSDU after
+	// a sequence-counter wrap, per the standard).
+	if c.isDuplicate(df(ta1, 10, 0, false, false, nil)) {
+		t.Fatal("non-retry frame filtered")
+	}
+}
+
+func TestDedupSeqWrap(t *testing.T) {
+	c := newDedupCache()
+	if c.isDuplicate(df(ta1, frame.MaxSeq-1, 0, false, false, nil)) {
+		t.Fatal("seq 4095 flagged")
+	}
+	// The counter wraps: seq 0 is a different tuple, retry bit or not.
+	if c.isDuplicate(df(ta1, 0, 0, false, true, nil)) {
+		t.Fatal("post-wrap seq 0 filtered against seq 4095")
+	}
+	if !c.isDuplicate(df(ta1, 0, 0, false, true, nil)) {
+		t.Fatal("retry after wrap not filtered")
+	}
+}
+
+func TestDedupManyTransmittersSteadyStateZeroAlloc(t *testing.T) {
+	c := newDedupCache()
+	tas := []frame.MACAddr{ta1, ta2, ta3}
+	f := df(ta1, 0, 0, false, false, nil)
+	for i := 0; i < 64; i++ { // warm the flat array past any growth
+		f.Addr2 = tas[i%len(tas)]
+		f.Seq = uint16(i)
+		c.isDuplicate(f)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		f.Addr2 = tas[i%len(tas)]
+		f.Seq = uint16(i % frame.MaxSeq)
+		c.isDuplicate(f)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dedup allocates %v/op, want 0", allocs)
+	}
+}
+
+// frags splits a body into n in-order fragments of one MSDU.
+func frags(ta frame.MACAddr, seq uint16, body []byte, n int) []*frame.Frame {
+	out := make([]*frame.Frame, 0, n)
+	per := (len(body) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo, hi := i*per, (i+1)*per
+		if hi > len(body) {
+			hi = len(body)
+		}
+		out = append(out, df(ta, seq, uint8(i), i < n-1, false, body[lo:hi]))
+	}
+	return out
+}
+
+func TestReassemblyInterleavedTransmitters(t *testing.T) {
+	r := newReassembler()
+	bodyA := bytes.Repeat([]byte("A0123456789"), 30)
+	bodyB := bytes.Repeat([]byte("Bfedcba"), 40)
+	fa := frags(ta1, 100, bodyA, 3)
+	fb := frags(ta2, 200, bodyB, 2)
+
+	// Fragments from two transmitters interleave freely; each reassembles
+	// independently in its own flat-array slot.
+	if got := r.add(fa[0]); got != nil {
+		t.Fatal("incomplete MSDU delivered")
+	}
+	if got := r.add(fb[0]); got != nil {
+		t.Fatal("incomplete MSDU delivered")
+	}
+	if got := r.add(fa[1]); got != nil {
+		t.Fatal("incomplete MSDU delivered")
+	}
+	gotB := r.add(fb[1])
+	if gotB == nil || !bytes.Equal(gotB.Body, bodyB) {
+		t.Fatalf("transmitter B reassembly wrong: %v", gotB)
+	}
+	if gotB.Seq != 200 || gotB.MoreFrag {
+		t.Fatalf("reassembled header wrong: %+v", gotB)
+	}
+	gotA := r.add(fa[2])
+	if gotA == nil || !bytes.Equal(gotA.Body, bodyA) {
+		t.Fatalf("transmitter A reassembly wrong: %v", gotA)
+	}
+	if gotA.Addr2 != ta1 {
+		t.Fatalf("reassembled TA = %v, want %v", gotA.Addr2, ta1)
+	}
+}
+
+func TestReassemblyAbortsAndRecovers(t *testing.T) {
+	r := newReassembler()
+	body := bytes.Repeat([]byte("xyzzy"), 50)
+	fs := frags(ta1, 7, body, 3)
+
+	// Out-of-order continuation aborts the partial...
+	r.add(fs[0])
+	if got := r.add(fs[2]); got != nil {
+		t.Fatal("skipped fragment completed an MSDU")
+	}
+	// ...and the tail of the aborted MSDU goes nowhere.
+	if got := r.add(fs[1]); got != nil {
+		t.Fatal("fragment of an aborted partial delivered")
+	}
+
+	// A fragment with a different sequence number aborts too (the slot held
+	// seq 7; seq 8 frag 1 cannot continue it).
+	r.add(fs[0])
+	if got := r.add(df(ta1, 8, 1, false, false, body)); got != nil {
+		t.Fatal("wrong-seq fragment continued a partial")
+	}
+
+	// A fresh unfragmented MSDU cancels a partial outright.
+	r.add(fs[0])
+	plain := df(ta1, 9, 0, false, false, []byte("fresh"))
+	if got := r.add(plain); got != plain {
+		t.Fatal("unfragmented MSDU not passed through")
+	}
+	if got := r.add(fs[1]); got != nil {
+		t.Fatal("partial survived an unfragmented MSDU")
+	}
+
+	// The slot recovers: a complete exchange after all the aborts works and
+	// reuses the recycled body buffer.
+	for i, f := range fs {
+		got := r.add(f)
+		if i < len(fs)-1 {
+			if got != nil {
+				t.Fatal("incomplete MSDU delivered")
+			}
+			continue
+		}
+		if got == nil || !bytes.Equal(got.Body, body) {
+			t.Fatalf("post-abort reassembly wrong: %v", got)
+		}
+	}
+}
+
+func TestReassemblySeqWrapPartial(t *testing.T) {
+	r := newReassembler()
+	body := bytes.Repeat([]byte("w"), 64)
+	// A partial parked at the top of the sequence space must not accept
+	// fragments from the post-wrap MSDU.
+	r.add(df(ta1, frame.MaxSeq-1, 0, true, false, body[:32]))
+	if got := r.add(df(ta1, 0, 1, false, false, body[32:])); got != nil {
+		t.Fatal("post-wrap fragment matched the pre-wrap partial")
+	}
+	// The wrap MSDU reassembles cleanly from its own first fragment.
+	r.add(df(ta1, 0, 0, true, false, body[:32]))
+	got := r.add(df(ta1, 0, 1, false, false, body[32:]))
+	if got == nil || !bytes.Equal(got.Body, body) {
+		t.Fatalf("post-wrap reassembly wrong: %v", got)
+	}
+}
+
+func TestReassemblySteadyStateZeroAlloc(t *testing.T) {
+	r := newReassembler()
+	body := bytes.Repeat([]byte("q"), 120)
+	fs := frags(ta1, 0, body, 2)
+	// Warm: the slot and its body buffer exist after one full MSDU.
+	r.add(fs[0])
+	r.add(fs[1])
+	seq := uint16(1)
+	allocs := testing.AllocsPerRun(200, func() {
+		a := df(ta1, seq, 0, true, false, body[:60])
+		b := df(ta1, seq, 1, false, false, body[60:])
+		if r.add(a) != nil {
+			t.Fatal("first fragment completed")
+		}
+		if got := r.add(b); got == nil || len(got.Body) != len(body) {
+			t.Fatal("reassembly failed")
+		}
+		seq = (seq + 1) % frame.MaxSeq
+	})
+	// The two df() frames above are the only permitted allocations.
+	if allocs > 2 {
+		t.Fatalf("steady-state reassembly allocates %v/op beyond the test frames, want ≤2", allocs)
+	}
+}
+
+// A saturated queue never fully drains, so the FIFO ring's rewind-on-empty
+// path never runs; the consumed prefix must be compacted instead of growing
+// one slot per delivered MSDU forever.
+func TestSaturatedQueueArrayBounded(t *testing.T) {
+	b := newBed(92, spectrum.FreeSpace{Freq: 2412 * units.MHz})
+	n := b.addNode("a", geom.Pt(0, 0), Config{QueueCap: 4})
+	peer := b.addNode("b", geom.Pt(10, 0), Config{})
+	d := n.dcf
+	dst := peer.dcf.Address()
+	for i := 0; i < 2000; i++ {
+		for d.QueueLen() < 4 {
+			if !d.Enqueue(data(dst, d.Address(), 50)) {
+				break
+			}
+		}
+		b.k.RunFor(5 * sim.Millisecond)
+	}
+	if st := d.Stats(); st.MSDUDelivered < 1000 {
+		t.Fatalf("only %d MSDUs delivered; the saturation loop is broken", st.MSDUDelivered)
+	}
+	if got := cap(d.queue); got > 256 {
+		t.Fatalf("saturated queue backing array grew to cap %d (len %d, head %d) — compaction broken",
+			got, len(d.queue), d.qHead)
+	}
+}
+
+func TestTryReserveReleaseAccounting(t *testing.T) {
+	b := newBed(91, spectrum.FreeSpace{Freq: 2412 * units.MHz})
+	n := b.addNode("a", geom.Pt(0, 0), Config{QueueCap: 3})
+	peer := b.addNode("b", geom.Pt(10, 0), Config{})
+	d := n.dcf
+
+	for i := 0; i < 3; i++ {
+		if !d.TryReserve() {
+			t.Fatalf("reservation %d refused within capacity", i)
+		}
+	}
+	if d.TryReserve() {
+		t.Fatal("reservation accepted beyond queue capacity")
+	}
+	if drops := d.Stats().QueueDrops; drops != 1 {
+		t.Fatalf("QueueDrops = %d after refused reservation, want 1", drops)
+	}
+	// Release returns the slot; the next reservation fits again.
+	d.Release()
+	if !d.TryReserve() {
+		t.Fatal("released reservation slot not reusable")
+	}
+
+	// Enqueue settles one outstanding reservation per call — success or
+	// failure — so reserved slots convert to queued MSDUs one for one.
+	dst := peer.dcf.Address()
+	for i := 0; i < 3; i++ {
+		if !d.Enqueue(data(dst, d.Address(), 100)) {
+			t.Fatalf("reserved enqueue %d refused", i)
+		}
+	}
+	// All reservations settled: plain Enqueue sees cur+2 queued of cap 3.
+	if !d.Enqueue(data(dst, d.Address(), 100)) {
+		t.Fatal("free slot refused after reservations settled")
+	}
+	if d.Enqueue(data(dst, d.Address(), 100)) {
+		t.Fatal("queue accepted past capacity")
+	}
+}

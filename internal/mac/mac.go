@@ -9,6 +9,18 @@
 // management plane through reassembled MSDU delivery. Rate selection is
 // delegated to a RateController so driver-level adaptation policies stay
 // separate from MAC mechanism.
+//
+// # Transmit frame ownership
+//
+// Enqueue takes ownership of the frame and its body until the MSDU is
+// delivered or dropped: the MAC mutates Seq/Frag/Retry/Duration in place,
+// retransmits from the same storage, and fragment views alias the body.
+// Callers that pool transmit frames (the net80211 send paths) may therefore
+// reuse a frame only once the MAC can no longer hold it; the MAC holds at
+// most QueueCap()+1 frames at a time (the queue plus the in-flight job), so
+// a pool of QueueCap()+2 slots advanced per accepted Enqueue is always
+// safe. Callers that retain a frame elsewhere while also enqueueing it
+// (e.g. power-save buffers) must hand the MAC a Clone.
 package mac
 
 import (
@@ -114,8 +126,12 @@ func (c *Config) fillDefaults(mode *phy.Mode) {
 	}
 }
 
-// txJob is one MSDU moving through the transmit pipeline.
+// txJob is one MSDU moving through the transmit pipeline. Jobs are pooled
+// by the DCF: gen advances every recycle, so a committed SIFS action that
+// captured (job, gen) can tell its job finished even when the pointer was
+// reused for a later MSDU.
 type txJob struct {
+	gen   uint64
 	frags []*frame.Frame
 	// fragArr backs frags for the common unfragmented case, so building a
 	// job does not allocate a one-element slice.

@@ -15,6 +15,7 @@ type Adhoc struct {
 	k     *sim.Kernel
 	dcf   *mac.DCF
 	bssid frame.MACAddr
+	tx    *txPool
 
 	// OnReceive delivers application payloads.
 	OnReceive DeliveryFunc
@@ -26,7 +27,7 @@ type Adhoc struct {
 // NewAdhoc joins a node to the IBSS identified by bssid (all members must
 // share it).
 func NewAdhoc(k *sim.Kernel, dcf *mac.DCF, bssid frame.MACAddr) *Adhoc {
-	a := &Adhoc{k: k, dcf: dcf, bssid: bssid}
+	a := &Adhoc{k: k, dcf: dcf, bssid: bssid, tx: newTxPool(dcf.QueueCap())}
 	dcf.SetReceiver(a.receive)
 	return a
 }
@@ -42,15 +43,25 @@ func (a *Adhoc) Address() frame.MACAddr { return a.dcf.Address() }
 func (a *Adhoc) MAC() *mac.DCF { return a.dcf }
 
 // Send transmits an application payload directly to dst (or broadcast).
+// TryReserve pins a queue slot before the pooled frame is built; Enqueue
+// settles the reservation whether or not it succeeds, so a refused enqueue
+// can neither leak the reservation nor strand the pooled slot (regression:
+// TestAdhocSendNoReservationLeak).
 func (a *Adhoc) Send(dst frame.MACAddr, payload []byte) bool {
 	if !a.dcf.TryReserve() {
 		return false
 	}
-	body := frame.EncapSNAP(EtherTypePayload, payload)
-	f := frame.NewData(dst, a.Address(), a.bssid, false, false, body)
-	if !a.dcf.Enqueue(f) {
+	slot := a.tx.slot()
+	slot.body = frame.AppendSNAP(slot.body[:0], EtherTypePayload, payload)
+	slot.f = frame.Frame{
+		Type: frame.TypeData, Subtype: frame.SubtypeData,
+		Addr1: dst, Addr2: a.Address(), Addr3: a.bssid,
+		Body: slot.body,
+	}
+	if !a.dcf.Enqueue(&slot.f) {
 		return false
 	}
+	a.tx.commit()
 	a.TxPayloads++
 	return true
 }

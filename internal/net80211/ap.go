@@ -38,6 +38,11 @@ type APConfig struct {
 	// WEPKey enables privacy: shared-key authentication and WEP-sealed
 	// data bodies.
 	WEPKey wep.Key
+	// WEPKeyID is the key slot (0-3) stamped into sealed frames and
+	// required of received ones; a frame carrying a different key ID
+	// counts as a decrypt error instead of being decrypted with the wrong
+	// key and failing on the ICV by luck.
+	WEPKeyID byte
 	// PSBufferCap bounds the per-station power-save buffer (default 32).
 	PSBufferCap int
 }
@@ -85,6 +90,10 @@ type AP struct {
 
 	dtimCount int
 	ivs       wep.IVCounter
+	// tx pools outgoing data frames/bodies; wepOpen is the rx decrypt
+	// scratch. Both make steady-state bridging allocation-free.
+	tx      *txPool
+	wepOpen []byte
 
 	// OnDeliver receives payloads addressed to the AP itself (or group).
 	OnDeliver DeliveryFunc
@@ -113,6 +122,7 @@ func NewAP(k *sim.Kernel, dcf *mac.DCF, cfg APConfig) *AP {
 		ssid:     cfg.SSID,
 		stations: make(map[frame.MACAddr]*staEntry),
 		byAID:    make(map[uint16]*staEntry),
+		tx:       newTxPool(dcf.QueueCap()),
 		Tracer:   trace.Nop{},
 	}
 	dcf.SetReceiver(ap.receive)
@@ -170,6 +180,18 @@ func (ap *AP) AssociatedCount() int {
 }
 
 func (ap *AP) privacy() bool { return len(ap.cfg.WEPKey) > 0 }
+
+// open decrypts a received WEP body into the AP's reusable scratch. The
+// result is a view, valid until the next open call; consumers copy what
+// they keep (queueFromDS re-encapsulates, the DS port clones).
+func (ap *AP) open(body []byte) ([]byte, error) {
+	plain, err := wep.OpenTo(ap.wepOpen[:0], ap.cfg.WEPKey, ap.cfg.WEPKeyID, body)
+	if err != nil {
+		return nil, err
+	}
+	ap.wepOpen = plain
+	return plain, nil
+}
 
 // sendBeacon enqueues the periodic beacon with the current TIM.
 func (ap *AP) sendBeacon() {
@@ -231,28 +253,44 @@ func (ap *AP) Send(dst frame.MACAddr, payload []byte) bool {
 	return ap.queueFromDS(dst, ap.BSSID(), payload)
 }
 
-// queueFromDS builds a FromDS data frame (buffering for PS stations).
+// queueFromDS builds a FromDS data frame (buffering for PS stations). The
+// frame and its body come from the AP's transmit pool, so steady-state
+// bridging allocates nothing; ownership moves to the MAC on a successful
+// Enqueue. Power-save buffering is the exception: the buffer outlives this
+// call, so it takes a Clone and the pooled slot stays uncommitted.
 func (ap *AP) queueFromDS(dst, src frame.MACAddr, payload []byte) bool {
-	body := frame.EncapSNAP(EtherTypePayload, payload)
-	f := frame.NewData(dst, ap.BSSID(), src, false, true, body)
+	slot := ap.tx.slot()
 	if ap.privacy() {
-		sealed, err := wep.Seal(ap.cfg.WEPKey, ap.ivs.Next(), 0, body)
+		ap.tx.snap = frame.AppendSNAP(ap.tx.snap[:0], EtherTypePayload, payload)
+		sealed, err := wep.SealTo(slot.body[:0], ap.cfg.WEPKey, ap.ivs.Next(), ap.cfg.WEPKeyID, ap.tx.snap)
 		if err != nil {
 			return false
 		}
-		f.Body = sealed
-		f.Protected = true
+		slot.body = sealed
+	} else {
+		slot.body = frame.AppendSNAP(slot.body[:0], EtherTypePayload, payload)
+	}
+	slot.f = frame.Frame{
+		Type: frame.TypeData, Subtype: frame.SubtypeData,
+		FromDS: true,
+		Addr1:  dst, Addr2: ap.BSSID(), Addr3: src,
+		Body:      slot.body,
+		Protected: ap.privacy(),
 	}
 	if e := ap.stations[dst]; e != nil && e.ps {
 		if len(e.psBuf) >= ap.cfg.PSBufferCap {
 			ap.Stats.PSDropped++
 			return false
 		}
-		e.psBuf = append(e.psBuf, f)
+		e.psBuf = append(e.psBuf, slot.f.Clone())
 		ap.Stats.PSBuffered++
 		return true
 	}
-	return ap.dcf.Enqueue(f)
+	if !ap.dcf.Enqueue(&slot.f) {
+		return false
+	}
+	ap.tx.commit()
+	return true
 }
 
 // receive handles every frame the MAC delivers.
@@ -331,7 +369,7 @@ func (ap *AP) handleAuth(f *frame.Frame) {
 		if !ap.privacy() {
 			return
 		}
-		plain, err := wep.Open(ap.cfg.WEPKey, body)
+		plain, err := ap.open(body)
 		if err != nil {
 			// Wrong key: the challenge response is unreadable.
 			ap.Stats.AuthFail++
@@ -433,7 +471,7 @@ func (ap *AP) handleData(f *frame.Frame) {
 		if !ap.privacy() {
 			return
 		}
-		plain, err := wep.Open(ap.cfg.WEPKey, body)
+		plain, err := ap.open(body)
 		if err != nil {
 			ap.Stats.DecryptErrors++
 			return

@@ -22,6 +22,10 @@ type STAConfig struct {
 	ScanDwell sim.Duration
 	// WEPKey enables shared-key authentication and WEP data privacy.
 	WEPKey wep.Key
+	// WEPKeyID is the key slot (0-3) stamped into sealed frames and
+	// required of received ones; a frame carrying a different key ID is a
+	// decrypt error, not a candidate for trying the wrong key.
+	WEPKeyID byte
 	// RoamThreshold: when the serving AP's smoothed beacon RSSI falls
 	// below this level the station rescans. Default -75 dBm.
 	RoamThreshold units.DBm
@@ -81,15 +85,16 @@ type candidate struct {
 
 // STAStats counts station activity.
 type STAStats struct {
-	Scans        uint64
-	BeaconsSeen  uint64
-	AuthAttempts uint64
-	Associations uint64
-	Roams        uint64
-	LinkLosses   uint64
-	PSPollsSent  uint64
-	TxPayloads   uint64
-	RxPayloads   uint64
+	Scans         uint64
+	BeaconsSeen   uint64
+	AuthAttempts  uint64
+	Associations  uint64
+	Roams         uint64
+	LinkLosses    uint64
+	PSPollsSent   uint64
+	TxPayloads    uint64
+	RxPayloads    uint64
+	DecryptErrors uint64
 }
 
 // STA is a station: scanning, join state machine, roaming and power save
@@ -111,8 +116,12 @@ type STA struct {
 	mgmtTimer sim.Timer
 	mgmtTries int
 
-	ivs    wep.IVCounter
-	psWake sim.Timer // pending pre-beacon wakeup
+	ivs wep.IVCounter
+	// tx pools outgoing data frames/bodies; wepOpen is the rx decrypt
+	// scratch. Both make steady-state traffic allocation-free.
+	tx      *txPool
+	wepOpen []byte
+	psWake  sim.Timer // pending pre-beacon wakeup
 	// beaconInt is the serving AP's beacon interval, learned from beacons.
 	beaconInt sim.Duration
 	// psAwaitSeq tokens the outstanding PS-Poll data wait: the station
@@ -153,6 +162,7 @@ func NewSTA(k *sim.Kernel, dcf *mac.DCF, cfg STAConfig) *STA {
 		dcf:       dcf,
 		cfg:       cfg,
 		cands:     make(map[frame.MACAddr]*candidate),
+		tx:        newTxPool(dcf.QueueCap()),
 		beaconInt: 100 * TU,
 		Tracer:    trace.Nop{},
 	}
@@ -176,26 +186,38 @@ func (s *STA) BSSID() frame.MACAddr { return s.bssid }
 func (s *STA) privacy() bool { return len(s.cfg.WEPKey) > 0 }
 
 // Send transmits an application payload to dst through the serving AP. It
-// returns false when unassociated or the queue is full.
+// returns false when unassociated or the queue is full. The outgoing frame
+// and its body come from the station's transmit pool: steady-state sends
+// allocate nothing, and ownership moves to the MAC on a successful Enqueue
+// (see mac package docs on transmit frame ownership).
 func (s *STA) Send(dst frame.MACAddr, payload []byte) bool {
 	if s.state != staAssociated {
 		return false
 	}
 	s.wakeForTraffic()
-	body := frame.EncapSNAP(EtherTypePayload, payload)
-	f := frame.NewData(s.bssid, s.Address(), dst, true, false, body)
+	slot := s.tx.slot()
 	if s.privacy() {
-		sealed, err := wep.Seal(s.cfg.WEPKey, s.ivs.Next(), 0, body)
+		s.tx.snap = frame.AppendSNAP(s.tx.snap[:0], EtherTypePayload, payload)
+		sealed, err := wep.SealTo(slot.body[:0], s.cfg.WEPKey, s.ivs.Next(), s.cfg.WEPKeyID, s.tx.snap)
 		if err != nil {
 			return false
 		}
-		f.Body = sealed
-		f.Protected = true
+		slot.body = sealed
+	} else {
+		slot.body = frame.AppendSNAP(slot.body[:0], EtherTypePayload, payload)
 	}
-	f.PwrMgmt = s.cfg.PowerSave
-	if !s.dcf.Enqueue(f) {
+	slot.f = frame.Frame{
+		Type: frame.TypeData, Subtype: frame.SubtypeData,
+		ToDS:  true,
+		Addr1: s.bssid, Addr2: s.Address(), Addr3: dst,
+		Body:      slot.body,
+		Protected: s.privacy(),
+		PwrMgmt:   s.cfg.PowerSave,
+	}
+	if !s.dcf.Enqueue(&slot.f) {
 		return false
 	}
+	s.tx.commit()
 	s.Stats.TxPayloads++
 	return true
 }
@@ -437,7 +459,7 @@ func (s *STA) handleAuth(f *frame.Frame) {
 		body := frame.MarshalAuth(&frame.Auth{
 			Algorithm: frame.AuthAlgoSharedKey, SeqNum: 3, Challenge: a.Challenge,
 		})
-		sealed, err := wep.Seal(s.cfg.WEPKey, s.ivs.Next(), 0, body)
+		sealed, err := wep.Seal(s.cfg.WEPKey, s.ivs.Next(), s.cfg.WEPKeyID, body)
 		if err != nil {
 			return
 		}
@@ -491,10 +513,12 @@ func (s *STA) handleData(f *frame.Frame) {
 		if !s.privacy() {
 			return
 		}
-		plain, err := wep.Open(s.cfg.WEPKey, body)
+		plain, err := wep.OpenTo(s.wepOpen[:0], s.cfg.WEPKey, s.cfg.WEPKeyID, body)
 		if err != nil {
+			s.Stats.DecryptErrors++
 			return
 		}
+		s.wepOpen = plain
 		body = plain
 	}
 	et, payload, err := frame.DecapSNAP(body)

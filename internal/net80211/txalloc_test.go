@@ -1,0 +1,204 @@
+package net80211
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/medium"
+	"repro/internal/phy"
+	"repro/internal/rate"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/units"
+	"repro/internal/wep"
+)
+
+// TX-path regression walls: steady-state Send on every node type must be
+// allocation-free end to end — pooled frame + body from the txPool, SNAP
+// built by AppendSNAP into the reused buffer, WEP sealed in place by
+// SealTo, job/queue/SIFS state pooled inside the DCF, and the peer's
+// receive side (ACK commit, dedup, decrypt scratch) equally clean. Each
+// wall drives one Send through the simulator until delivery and asserts
+// zero allocations per payload, mirroring the PR 2 rx decode walls.
+
+const wallWEPKeyID = 2
+
+func wallKey() wep.Key { return wep.Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13} }
+
+// warmThenMeasure runs send enough times to grow every pool (the txPool
+// holds QueueCap+2 slots, each with its own body buffer), then measures.
+func warmThenMeasure(t *testing.T, k *sim.Kernel, send func() bool) {
+	t.Helper()
+	for i := 0; i < 160; i++ {
+		if !send() {
+			t.Fatalf("warm-up send %d refused", i)
+		}
+		k.RunFor(5 * sim.Millisecond)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !send() {
+			t.Fatal("measured send refused")
+		}
+		k.RunFor(5 * sim.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Send allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestAdhocSendZeroAlloc(t *testing.T) {
+	w := newWorld(21, spectrum.FreeSpace{Freq: 2412 * units.MHz})
+	a := NewAdhoc(w.k, w.dcf("a", geom.Pt(0, 0), 1), IBSSID())
+	b := NewAdhoc(w.k, w.dcf("b", geom.Pt(10, 0), 1), IBSSID())
+	payload := make([]byte, 600)
+	dst := b.Address()
+	warmThenMeasure(t, w.k, func() bool { return a.Send(dst, payload) })
+	if b.RxPayloads == 0 {
+		t.Fatal("nothing delivered during the wall")
+	}
+}
+
+// infraPair associates one station with one AP (optionally WEP) and stops
+// the beacons so the measured window contains only the data path. The
+// beacon watchdog keeps ticking, so BeaconMissLimit is set high enough
+// that the link survives the beaconless measurement.
+func infraPair(t *testing.T, seed uint64, key wep.Key) (*world, *AP, *STA) {
+	t.Helper()
+	w := newWorld(seed, spectrum.FreeSpace{Freq: 2412 * units.MHz})
+	var keyID byte
+	if key != nil {
+		keyID = wallWEPKeyID
+	}
+	ap := NewAP(w.k, w.dcf("ap", geom.Pt(0, 0), 1), APConfig{SSID: "wall", WEPKey: key, WEPKeyID: keyID})
+	sta := NewSTA(w.k, w.dcf("sta", geom.Pt(10, 0), 1), STAConfig{
+		SSID: "wall", WEPKey: key, WEPKeyID: keyID, BeaconMissLimit: 1 << 30,
+	})
+	w.k.RunUntil(sim.Time(2 * sim.Second))
+	if !sta.Associated() {
+		t.Fatalf("station never associated (state %v)", sta.state)
+	}
+	ap.Stop()
+	return w, ap, sta
+}
+
+func TestSTASendZeroAlloc(t *testing.T) {
+	w, ap, sta := infraPair(t, 22, nil)
+	payload := make([]byte, 600)
+	dst := ap.BSSID()
+	warmThenMeasure(t, w.k, func() bool { return sta.Send(dst, payload) })
+}
+
+func TestSTASendWEPZeroAlloc(t *testing.T) {
+	w, ap, sta := infraPair(t, 23, wallKey())
+	payload := make([]byte, 600)
+	dst := ap.BSSID()
+	warmThenMeasure(t, w.k, func() bool { return sta.Send(dst, payload) })
+	if ap.Stats.DecryptErrors != 0 {
+		t.Fatalf("AP counted %d decrypt errors on a matched key", ap.Stats.DecryptErrors)
+	}
+}
+
+func TestAPSendZeroAlloc(t *testing.T) {
+	w, ap, sta := infraPair(t, 24, nil)
+	payload := make([]byte, 600)
+	dst := sta.Address()
+	warmThenMeasure(t, w.k, func() bool { return ap.Send(dst, payload) })
+	if sta.Stats.RxPayloads == 0 {
+		t.Fatal("station received nothing during the wall")
+	}
+}
+
+func TestAPSendWEPZeroAlloc(t *testing.T) {
+	w, ap, sta := infraPair(t, 25, wallKey())
+	payload := make([]byte, 600)
+	dst := sta.Address()
+	warmThenMeasure(t, w.k, func() bool { return ap.Send(dst, payload) })
+	if sta.Stats.DecryptErrors != 0 {
+		t.Fatalf("station counted %d decrypt errors on a matched key", sta.Stats.DecryptErrors)
+	}
+	if sta.Stats.RxPayloads == 0 {
+		t.Fatal("station decrypted nothing during the wall")
+	}
+}
+
+// A station keyed to one WEP slot must refuse frames stamped with another —
+// counted as decrypt errors, never delivered.
+func TestWEPKeyIDMismatchCountsDecryptError(t *testing.T) {
+	w := newWorld(26, spectrum.FreeSpace{Freq: 2412 * units.MHz})
+	key := wallKey()
+	// AP seals with key slot 0; the station demands slot 2 of the same key.
+	ap := NewAP(w.k, w.dcf("ap", geom.Pt(0, 0), 1), APConfig{SSID: "wall", WEPKey: key, WEPKeyID: 0})
+	sta := NewSTA(w.k, w.dcf("sta", geom.Pt(10, 0), 1), STAConfig{
+		SSID: "wall", WEPKey: key, WEPKeyID: wallWEPKeyID, BeaconMissLimit: 1 << 30,
+	})
+	w.k.RunUntil(sim.Time(2 * sim.Second))
+	if !sta.Associated() {
+		// Shared-key auth itself fails on the key-ID mismatch: the AP
+		// cannot read the slot-2 challenge response. That is the correct
+		// strict behaviour; assert the error was counted and stop.
+		if ap.Stats.DecryptErrors == 0 {
+			t.Fatal("mismatched key ID neither associated nor counted a decrypt error")
+		}
+		return
+	}
+	before := sta.Stats.RxPayloads
+	ap.Send(sta.Address(), []byte("wrong slot"))
+	w.k.RunFor(100 * sim.Millisecond)
+	if sta.Stats.RxPayloads != before {
+		t.Fatal("station delivered a frame sealed under the wrong key ID")
+	}
+	if sta.Stats.DecryptErrors == 0 {
+		t.Fatal("key-ID mismatch not counted as a decrypt error")
+	}
+}
+
+// Regression for the Adhoc.Send reservation hand-off: flooding a full
+// queue must not leak TryReserve slots — after the MAC drains, the queue
+// accepts a full capacity's worth again, forever.
+func TestAdhocSendNoReservationLeak(t *testing.T) {
+	w := newWorld(27, spectrum.FreeSpace{Freq: 2412 * units.MHz})
+	mode := phy.Mode80211b()
+	mk := func(name string, p geom.Point, queueCap int) *mac.DCF {
+		r := w.m.AddRadio(medium.RadioConfig{
+			Name: name, Mode: mode, Channel: 1,
+			Mobility: geom.Static{P: p}, TxPower: 16,
+		})
+		return mac.New(w.k, r, mac.Config{Address: w.alloc.Next(), Mode: mode, QueueCap: queueCap},
+			rate.NewFixed(mode, 3), w.src)
+	}
+	const cap = 4
+	da := mk("a", geom.Pt(0, 0), cap)
+	db := mk("b", geom.Pt(10, 0), 64)
+	a := NewAdhoc(w.k, da, IBSSID())
+	b := NewAdhoc(w.k, db, IBSSID())
+	payload := make([]byte, 200)
+	dst := b.Address()
+
+	flood := func() int {
+		accepted := 0
+		for i := 0; i < 5*cap; i++ {
+			if a.Send(dst, payload) {
+				accepted++
+			}
+		}
+		return accepted
+	}
+	// The MAC holds cap queued MSDUs plus the one popped in flight.
+	if got := flood(); got != cap+1 {
+		t.Fatalf("first flood accepted %d, want %d", got, cap+1)
+	}
+	for round := 0; round < 3; round++ {
+		w.k.RunFor(sim.Second)
+		if da.Busy() {
+			t.Fatalf("round %d: MAC still busy after a second of draining", round)
+		}
+		// Leaked reservations would permanently shrink this number.
+		if got := flood(); got != cap+1 {
+			t.Fatalf("round %d: flood accepted %d, want %d — reservation leak", round, got, cap+1)
+		}
+	}
+	if got, want := da.Stats().QueueDrops, uint64(4*(5*cap-cap-1)); got != want {
+		t.Fatalf("QueueDrops = %d, want %d (every refused send counted exactly once)", got, want)
+	}
+}

@@ -72,8 +72,10 @@ type Generator struct {
 	// does not allocate a fresh method value.
 	runFn func()
 	// buf is the reusable payload scratch: every consumer of a payload
-	// (SNAP encapsulation, the sink's header decode) copies what it keeps,
-	// so one buffer serves every emit.
+	// copies what it keeps — the net80211 send paths re-encapsulate it
+	// into their pooled transmit bodies (frame.AppendSNAP), the sink's
+	// header decode reads in place — so one buffer serves every emit and
+	// the generator→Send→MAC chain allocates nothing per packet.
 	buf []byte
 }
 

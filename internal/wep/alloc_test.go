@@ -1,0 +1,120 @@
+package wep
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Steady-state sealing and opening must be allocation-free: the RC4 seed
+// and cipher state live on the stack, and both directions work in the
+// caller's reused buffer. This is the TX-path regression wall — any future
+// per-frame seed slice, work buffer or output copy fails it.
+func TestSealToOpenToZeroAlloc(t *testing.T) {
+	key := Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	plain := bytes.Repeat([]byte("payload!"), 80)
+	var ivs IVCounter
+	sealBuf := make([]byte, 0, len(plain)+IVHeaderLen+ICVLen)
+	openBuf := make([]byte, 0, len(plain)+ICVLen)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		sealBuf, err = SealTo(sealBuf[:0], key, ivs.Next(), 2, plain)
+		if err != nil {
+			t.Fatalf("SealTo: %v", err)
+		}
+		openBuf, err = OpenTo(openBuf[:0], key, 2, sealBuf)
+		if err != nil {
+			t.Fatalf("OpenTo: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SealTo+OpenTo allocates %v/op, want 0", allocs)
+	}
+	if !bytes.Equal(openBuf, plain) {
+		t.Fatal("round trip corrupted the payload")
+	}
+}
+
+// SealTo/OpenTo must agree byte-for-byte with the allocating Seal/Open they
+// replaced, including buffer-growth paths (dst without capacity).
+func TestSealToMatchesSeal(t *testing.T) {
+	key := Key{9, 8, 7, 6, 5}
+	plain := []byte("the same bytes either way")
+	iv := IV{0xaa, 0xbb, 0xcc}
+
+	want, err := Seal(key, iv, 1, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SealTo(nil, key, iv, 1, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("SealTo = %x, Seal = %x", got, want)
+	}
+	// Appending after a prefix leaves the prefix intact.
+	pre := append([]byte(nil), "prefix"...)
+	out, err := SealTo(pre, key, iv, 1, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, []byte("prefix")) || !bytes.Equal(out[6:], want) {
+		t.Fatal("SealTo corrupted the dst prefix")
+	}
+
+	back, err := OpenTo(nil, key, 1, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, plain) {
+		t.Fatalf("OpenTo = %q, want %q", back, plain)
+	}
+}
+
+// A receiver configured for one key slot must refuse frames stamped with
+// another instead of decrypting with the wrong key and counting on the ICV
+// to fail: the mismatch is an explicit ErrKeyID.
+func TestOpenValidatesKeyID(t *testing.T) {
+	key := Key{1, 2, 3, 4, 5}
+	plain := []byte("slot three")
+	sealed, err := Seal(key, IV{1, 1, 1}, 3, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTo(nil, key, 1, sealed); err != ErrKeyID {
+		t.Fatalf("key ID 3 opened as key ID 1: err = %v, want ErrKeyID", err)
+	}
+	// Open expects the default slot 0 and must refuse too.
+	if _, err := Open(key, sealed); err != ErrKeyID {
+		t.Fatalf("Open accepted key ID 3: err = %v, want ErrKeyID", err)
+	}
+	got, err := OpenTo(nil, key, 3, sealed)
+	if err != nil || !bytes.Equal(got, plain) {
+		t.Fatalf("matching key ID refused: %v", err)
+	}
+}
+
+// SealCCMPTo must agree with SealCCMP and leave a dst prefix intact.
+func TestSealCCMPToMatchesSealCCMP(t *testing.T) {
+	tk := []byte("0123456789abcdef")
+	ta := [6]byte{2, 0, 0, 0, 0, 9}
+	aad := []byte("aad-bytes")
+	plain := bytes.Repeat([]byte("ccm"), 33) // exercises a partial final block
+
+	want, err := SealCCMP(tk, ta, 42, aad, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := SealCCMPTo([]byte("hdr"), tk, ta, 42, aad, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, []byte("hdr")) || !bytes.Equal(out[3:], want) {
+		t.Fatal("SealCCMPTo diverged from SealCCMP")
+	}
+	got, pn, err := OpenCCMP(tk, ta, aad, out[3:], 0)
+	if err != nil || pn != 42 || !bytes.Equal(got, plain) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}

@@ -110,9 +110,13 @@ func ctrBlock(nonce [13]byte, i uint16) [16]byte {
 	return a
 }
 
-// SealCCMP encrypts and authenticates a body with AES-CCM. aad binds the
-// immutable frame header fields (typically the three addresses).
-func SealCCMP(tk []byte, ta [6]byte, pn PN, aad, plaintext []byte) ([]byte, error) {
+// SealCCMPTo encrypts and authenticates a body with AES-CCM, appending the
+// sealed envelope onto dst and returning the extended slice. aad binds the
+// immutable frame header fields (typically the three addresses). The CTR
+// encryption writes straight into dst, so a caller that reuses dst across
+// frames pays only the AES key schedule per seal. dst must not alias
+// plaintext or aad.
+func SealCCMPTo(dst, tk []byte, ta [6]byte, pn PN, aad, plaintext []byte) ([]byte, error) {
 	if len(tk) != 16 {
 		return nil, fmt.Errorf("wep: CCMP temporal key must be 16 bytes, got %d", len(tk))
 	}
@@ -123,34 +127,40 @@ func SealCCMP(tk []byte, ta [6]byte, pn PN, aad, plaintext []byte) ([]byte, erro
 	nonce := ccmNonce(ta, pn)
 	tag := cbcMAC(block, nonce, aad, plaintext)
 
-	out := make([]byte, 0, CCMPHeaderLen+len(plaintext)+CCMPMICLen)
 	// CCMP header: PN0 PN1 rsvd keyid PN2 PN3 PN4 PN5.
-	out = append(out,
+	dst = append(dst,
 		byte(pn), byte(pn>>8), 0, 0x20, // key ID 0, ExtIV set
 		byte(pn>>16), byte(pn>>24), byte(pn>>32), byte(pn>>40))
 
-	// CTR encryption: S_0 masks the tag, S_1.. mask the payload.
-	buf := make([]byte, len(plaintext))
+	// CTR encryption in place: S_0 masks the tag, S_1.. mask the payload.
+	ctStart := len(dst)
+	dst = append(dst, plaintext...)
+	ct := dst[ctStart:]
 	var ks [16]byte
-	for off, ctr := 0, uint16(1); off < len(plaintext); off, ctr = off+16, ctr+1 {
+	for off, ctr := 0, uint16(1); off < len(ct); off, ctr = off+16, ctr+1 {
 		a := ctrBlock(nonce, ctr)
 		block.Encrypt(ks[:], a[:])
 		end := off + 16
-		if end > len(plaintext) {
-			end = len(plaintext)
+		if end > len(ct) {
+			end = len(ct)
 		}
 		for i := off; i < end; i++ {
-			buf[i] = plaintext[i] ^ ks[i-off]
+			ct[i] ^= ks[i-off]
 		}
 	}
-	out = append(out, buf...)
 
 	a0 := ctrBlock(nonce, 0)
 	block.Encrypt(ks[:], a0[:])
 	for i := 0; i < CCMPMICLen; i++ {
-		out = append(out, tag[i]^ks[i])
+		dst = append(dst, tag[i]^ks[i])
 	}
-	return out, nil
+	return dst, nil
+}
+
+// SealCCMP encrypts and authenticates a body with AES-CCM. aad binds the
+// immutable frame header fields (typically the three addresses).
+func SealCCMP(tk []byte, ta [6]byte, pn PN, aad, plaintext []byte) ([]byte, error) {
+	return SealCCMPTo(make([]byte, 0, CCMPHeaderLen+len(plaintext)+CCMPMICLen), tk, ta, pn, aad, plaintext)
 }
 
 // CCMP errors.

@@ -26,23 +26,25 @@ const (
 	ICVLen      = 4
 )
 
-// rc4State is a minimal RC4 keystream generator.
+// rc4State is a minimal RC4 keystream generator. It is initialised in place
+// (init below) so the transmit/receive fast paths can keep it on the stack:
+// SealTo/OpenTo declare one as a local, and escape analysis keeps the whole
+// cipher state out of the heap.
 type rc4State struct {
 	s    [256]byte
 	i, j uint8
 }
 
-func newRC4(key []byte) *rc4State {
-	var st rc4State
+func (st *rc4State) init(key []byte) {
 	for i := 0; i < 256; i++ {
 		st.s[i] = byte(i)
 	}
+	st.i, st.j = 0, 0
 	var j uint8
 	for i := 0; i < 256; i++ {
 		j += st.s[i] + key[i%len(key)]
 		st.s[i], st.s[j] = st.s[j], st.s[i]
 	}
-	return &st
 }
 
 // xorKeyStream XORs src with the keystream into dst (may alias).
@@ -66,58 +68,91 @@ func (k Key) Validate() error {
 	return nil
 }
 
-// Seal encrypts a plaintext MPDU body: output is IV header ‖ RC4(body ‖ ICV).
-func Seal(key Key, iv IV, keyID byte, plaintext []byte) ([]byte, error) {
+// seedBuf holds a per-packet RC4 seed: 3 IV bytes followed by a key of at
+// most 13 bytes. A fixed-size array lets SealTo/OpenTo build the seed on the
+// stack instead of allocating one per frame.
+type seedBuf [3 + 13]byte
+
+// SealTo encrypts a plaintext MPDU body, appending IV header ‖ RC4(body ‖
+// ICV) onto dst and returning the extended slice. It is the allocation-free
+// form of Seal: the RC4 seed and cipher state live on the stack, and the
+// work buffer is dst itself, so a caller that reuses dst across frames
+// (as the net80211 transmit pools do) pays zero allocations per seal.
+// dst must not alias plaintext.
+func SealTo(dst []byte, key Key, iv IV, keyID byte, plaintext []byte) ([]byte, error) {
 	if err := key.Validate(); err != nil {
 		return nil, err
 	}
 	// Per-packet RC4 key: IV ‖ key (the design flaw FMS exploited).
-	seed := make([]byte, 0, 3+len(key))
-	seed = append(seed, iv[:]...)
-	seed = append(seed, key...)
+	var seed seedBuf
+	copy(seed[:3], iv[:])
+	n := 3 + copy(seed[3:], key)
 
-	icv := crc32.ChecksumIEEE(plaintext)
-	work := make([]byte, len(plaintext)+ICVLen)
-	copy(work, plaintext)
-	binary.LittleEndian.PutUint32(work[len(plaintext):], icv)
+	start := len(dst)
+	dst = append(dst, iv[0], iv[1], iv[2], keyID&0x03<<6)
+	dst = append(dst, plaintext...)
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(plaintext))
 
-	newRC4(seed).xorKeyStream(work, work)
+	var st rc4State
+	st.init(seed[:n])
+	work := dst[start+IVHeaderLen:]
+	st.xorKeyStream(work, work)
+	return dst, nil
+}
 
-	out := make([]byte, 0, IVHeaderLen+len(work))
-	out = append(out, iv[0], iv[1], iv[2], keyID&0x03<<6)
-	return append(out, work...), nil
+// Seal encrypts a plaintext MPDU body: output is IV header ‖ RC4(body ‖ ICV).
+func Seal(key Key, iv IV, keyID byte, plaintext []byte) ([]byte, error) {
+	return SealTo(make([]byte, 0, IVHeaderLen+len(plaintext)+ICVLen), key, iv, keyID, plaintext)
 }
 
 // Integrity and format errors.
 var (
 	ErrTooShort = errors.New("wep: body too short")
 	ErrICV      = errors.New("wep: ICV mismatch")
+	ErrKeyID    = errors.New("wep: key ID mismatch")
 )
 
-// Open decrypts a WEP body and verifies the ICV.
-func Open(key Key, body []byte) ([]byte, error) {
+// OpenTo decrypts a WEP body, appending the verified plaintext onto dst and
+// returning the extended slice. The header's key-ID byte must match keyID:
+// a receiver configured with key 0 must not decrypt a key-3 frame with the
+// wrong key and rely on the ICV to fail by luck — the mismatch is reported
+// as ErrKeyID so callers can count it as a decrypt error. Like SealTo it is
+// allocation-free when dst has capacity. dst must not alias body.
+func OpenTo(dst []byte, key Key, keyID byte, body []byte) ([]byte, error) {
 	if err := key.Validate(); err != nil {
 		return nil, err
 	}
 	if len(body) < IVHeaderLen+ICVLen {
 		return nil, ErrTooShort
 	}
-	var iv IV
-	copy(iv[:], body[:3])
-	seed := make([]byte, 0, 3+len(key))
-	seed = append(seed, iv[:]...)
-	seed = append(seed, key...)
+	if body[3]>>6 != keyID&0x03 {
+		return nil, ErrKeyID
+	}
+	var seed seedBuf
+	copy(seed[:3], body[:3])
+	n := 3 + copy(seed[3:], key)
 
-	work := make([]byte, len(body)-IVHeaderLen)
-	copy(work, body[IVHeaderLen:])
-	newRC4(seed).xorKeyStream(work, work)
+	start := len(dst)
+	dst = append(dst, body[IVHeaderLen:]...)
+	var st rc4State
+	st.init(seed[:n])
+	work := dst[start:]
+	st.xorKeyStream(work, work)
 
 	plain := work[:len(work)-ICVLen]
 	wantICV := binary.LittleEndian.Uint32(work[len(plain):])
 	if crc32.ChecksumIEEE(plain) != wantICV {
 		return nil, ErrICV
 	}
-	return plain, nil
+	return dst[:start+len(plain)], nil
+}
+
+// Open decrypts a WEP body sealed under key ID 0 and verifies the ICV.
+func Open(key Key, body []byte) ([]byte, error) {
+	if len(body) < IVHeaderLen+ICVLen {
+		return nil, ErrTooShort
+	}
+	return OpenTo(make([]byte, 0, len(body)-IVHeaderLen), key, 0, body)
 }
 
 // IVCounter hands out sequential IVs — the common (and weakest) sender
