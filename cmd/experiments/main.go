@@ -1,6 +1,5 @@
 // Command experiments regenerates every table and figure in the evaluation
-// suite (see DESIGN.md's experiment index and EXPERIMENTS.md for expected
-// shapes).
+// suite (see the experiment index in README.md at the repository root).
 //
 // Usage:
 //
@@ -9,6 +8,17 @@
 //	experiments -experiment F3  # one experiment
 //	experiments -csv            # machine-readable output
 //	experiments -list           # list IDs and titles
+//	experiments -shards 8       # fan each sweep out to 8 worker subprocesses
+//
+// With -shards N (N ≥ 2) the command becomes a sweep orchestrator: it
+// re-execs itself once per shard as `experiments -shard i/N -experiment F3
+// -csv`, each worker evaluates its slice of the scenario-point grid in its
+// own process (own Go runtime, own GC), and the parent merges the shard
+// output into tables byte-identical to the sequential run. -shards 1 (the
+// default) keeps everything in this process on the worker pool.
+//
+// -shard i/N is the internal worker mode; it emits the internal/sweep wire
+// format on stdout and is not meant to be called by hand.
 package main
 
 import (
@@ -18,14 +28,18 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "fast pass: fewer points, shorter virtual runs")
-		expID = flag.String("experiment", "", "run only this experiment ID (e.g. F3)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "fast pass: fewer points, shorter virtual runs")
+		expID   = flag.String("experiment", "", "run only this experiment ID (e.g. F3)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		shards  = flag.Int("shards", 1, "fan each experiment out to N worker subprocesses (1 = in-process)")
+		shardAt = flag.String("shard", "", "worker mode: evaluate shard i/N of -experiment and emit the sweep wire format (internal)")
 	)
 	flag.Parse()
 
@@ -36,24 +50,84 @@ func main() {
 		return
 	}
 
+	if *shardAt != "" {
+		// Worker mode: one shard of one experiment, wire format on stdout.
+		shard, nShards, err := sweep.ParseShardSpec(*shardAt)
+		if err != nil {
+			fatal(err)
+		}
+		e := harness.ByID(*expID)
+		if e == nil {
+			fatal(fmt.Errorf("experiments: -shard needs a valid -experiment (got %q; use -list)", *expID))
+		}
+		if err := sweep.RunWorker(e, shard, nShards, *quick, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	exps := harness.All()
 	if *expID != "" {
 		e := harness.ByID(*expID)
 		if e == nil {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *expID)
-			os.Exit(1)
+			fatal(fmt.Errorf("experiments: unknown experiment %q (use -list)", *expID))
 		}
 		exps = []*harness.Experiment{e}
 	}
 
+	var runner *sweep.Runner
+	if *shards > 1 {
+		self, err := os.Executable()
+		if err != nil {
+			fatal(fmt.Errorf("experiments: cannot locate own binary for re-exec: %v", err))
+		}
+		workerArgs := []string{"-csv"}
+		if *quick {
+			workerArgs = append(workerArgs, "-quick")
+		}
+		runner = &sweep.Runner{Shards: *shards, Quick: *quick, Spawn: sweep.ExecSpawner(self, workerArgs...)}
+	}
+
 	for _, e := range exps {
 		start := time.Now()
-		table := e.Run(*quick)
+		var table *stats.Table
+		var shardStats []sweep.ShardStats
+		if runner != nil {
+			res, err := runner.Run(e)
+			if err != nil {
+				fatal(err)
+			}
+			table, shardStats = res.Table, res.Shards
+		} else {
+			// The in-process pool is the fast path for one process; it
+			// needs no wire round-trip, so table cells stay unrestricted.
+			table = e.Run(*quick)
+		}
 		elapsed := time.Since(start).Round(time.Millisecond)
 		if *csv {
 			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, table.CSV())
 		} else {
-			fmt.Printf("%s\nexpected shape: %s\n(wall time %v)\n\n", table.Render(), e.Expect, elapsed)
+			fmt.Printf("%s\nexpected shape: %s\n(wall time %v", table.Render(), e.Expect, elapsed)
+			if runner != nil {
+				fmt.Printf(" across %d shards; slowest shard %v", *shards, slowest(shardStats))
+			}
+			fmt.Printf(")\n\n")
 		}
 	}
+}
+
+// slowest returns the longest per-shard wall time.
+func slowest(sts []sweep.ShardStats) time.Duration {
+	var max int64
+	for _, st := range sts {
+		if st.WallNs > max {
+			max = st.WallNs
+		}
+	}
+	return time.Duration(max).Round(time.Millisecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

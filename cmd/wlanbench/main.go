@@ -5,12 +5,20 @@
 //
 // Usage:
 //
-//	wlanbench [-ids F1,F2] [-runs 3] [-full] [-workers N] \
-//	          [-baseline old.json] [-out BENCH_PR1.json]
+//	wlanbench [-ids F1,F2] [-runs 3] [-full] [-workers N] [-shards N] \
+//	          [-baseline old.json] [-out BENCH_PR4.json]
 //
 // With -baseline, the report embeds the older report and per-experiment
 // speedup factors, which is how BENCH_PR1.json records the pre-PR seed
 // numbers next to the current ones.
+//
+// With -shards N (N ≥ 2), every experiment is additionally measured
+// through the multi-process sweep engine (internal/sweep): the command
+// re-execs itself once per shard as `wlanbench -shard i/N -experiment F3`,
+// and each experiment's report entry gains a "sharded" section with the
+// orchestrated wall time and the per-shard timing/allocs roll-up. The
+// primary sequential numbers are unaffected, so allocs/op ceilings
+// (-failallocs) stay exact.
 package main
 
 import (
@@ -24,7 +32,17 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/sweep"
 )
+
+// ShardedResult is one experiment's measurement through the multi-process
+// sweep engine, attached next to the sequential numbers.
+type ShardedResult struct {
+	Shards       int                `json:"shards"`
+	NsPerOp      int64              `json:"ns_per_op"`
+	SpeedupVsSeq float64            `json:"speedup_vs_seq"`
+	PerShard     []sweep.ShardStats `json:"per_shard"`
+}
 
 // ExpResult is one experiment's measurement.
 type ExpResult struct {
@@ -42,6 +60,8 @@ type ExpResult struct {
 	AllocsRatio   float64 `json:"allocs_ratio,omitempty"`
 	BaseNsPerOp   int64   `json:"baseline_ns_per_op,omitempty"`
 	BaseAllocsPer uint64  `json:"baseline_allocs_per_op,omitempty"`
+	// Through the sweep engine, when -shards was supplied.
+	Sharded *ShardedResult `json:"sharded,omitempty"`
 }
 
 // Report is the full JSON document.
@@ -50,6 +70,7 @@ type Report struct {
 	GOMAXPROCS  int         `json:"gomaxprocs"`
 	Workers     int         `json:"workers"`
 	Quick       bool        `json:"quick"`
+	Shards      int         `json:"shards,omitempty"`
 	Experiments []ExpResult `json:"experiments"`
 	Baseline    *Report     `json:"baseline,omitempty"`
 	Notes       []string    `json:"notes,omitempty"`
@@ -60,13 +81,33 @@ func main() {
 	runs := flag.Int("runs", 3, "measured runs per experiment")
 	full := flag.Bool("full", false, "run full (non-quick) experiment variants")
 	workers := flag.Int("workers", 0, "harness worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "also measure each experiment across N worker subprocesses (0 = skip)")
+	shardAt := flag.String("shard", "", "worker mode: evaluate shard i/N of -experiment and emit the sweep wire format (internal)")
+	expID := flag.String("experiment", "", "experiment ID for -shard worker mode")
 	baseline := flag.String("baseline", "", "older report to embed and compare against")
-	out := flag.String("out", "BENCH_PR1.json", "output path (- for stdout)")
+	out := flag.String("out", "BENCH_PR4.json", "output path (- for stdout)")
 	note := flag.String("note", "", "free-form measurement note recorded in the report (';'-separated)")
 	failAllocs := flag.String("failallocs", "", "report whose per-experiment allocs/op are a hard ceiling: exit non-zero on any increase (allocs are deterministic, unlike wall times)")
 	flag.Parse()
 
 	harness.Workers = *workers
+
+	if *shardAt != "" {
+		// Worker mode for the sharded measurement: same protocol as
+		// `experiments -shard i/N`.
+		shard, nShards, err := sweep.ParseShardSpec(*shardAt)
+		if err != nil {
+			fatal(err)
+		}
+		e := harness.ByID(*expID)
+		if e == nil {
+			fatal(fmt.Errorf("wlanbench: -shard needs a valid -experiment (got %q)", *expID))
+		}
+		if err := sweep.RunWorker(e, shard, nShards, !*full, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var exps []*harness.Experiment
 	if *ids == "" {
@@ -87,6 +128,7 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    *workers,
 		Quick:      !*full,
+		Shards:     *shards,
 	}
 	if *note != "" {
 		rep.Notes = strings.Split(*note, ";")
@@ -102,9 +144,36 @@ func main() {
 		ceiling = readReport(*failAllocs)
 	}
 
+	var runner *sweep.Runner
+	if *shards > 1 {
+		self, err := os.Executable()
+		if err != nil {
+			fatal(fmt.Errorf("wlanbench: cannot locate own binary for re-exec: %v", err))
+		}
+		// Forward -workers so a -workers 1 parent (the CI configuration,
+		// chosen for exact allocs/op) gets workers whose self-measured
+		// allocations are equally deterministic.
+		workerArgs := []string{"-workers", fmt.Sprint(*workers)}
+		if *full {
+			workerArgs = append(workerArgs, "-full")
+		}
+		runner = &sweep.Runner{
+			Shards: *shards,
+			Quick:  !*full,
+			Spawn:  sweep.ExecSpawner(self, workerArgs...),
+		}
+	}
+
 	allocsRegressed := false
 	for _, e := range exps {
 		r := measure(e, *runs, !*full)
+		if runner != nil {
+			sh, err := measureSharded(e, runner, r.NsPerOp)
+			if err != nil {
+				fatal(err)
+			}
+			r.Sharded = sh
+		}
 		if ceiling != nil {
 			matched := false
 			for _, c := range ceiling.Experiments {
@@ -139,8 +208,13 @@ func main() {
 			}
 		}
 		rep.Experiments = append(rep.Experiments, r)
-		fmt.Fprintf(os.Stderr, "%-4s %12d ns/op %10d allocs/op %12.0f events/s\n",
+		fmt.Fprintf(os.Stderr, "%-4s %12d ns/op %10d allocs/op %12.0f events/s",
 			r.ID, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+		if r.Sharded != nil {
+			fmt.Fprintf(os.Stderr, "   sharded(%d) %12d ns/op (%.2fx)",
+				r.Sharded.Shards, r.Sharded.NsPerOp, r.Sharded.SpeedupVsSeq)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
@@ -210,4 +284,31 @@ func measure(e *harness.Experiment, runs int, quick bool) ExpResult {
 	}
 }
 
+// measureSharded runs e once through the multi-process sweep engine and
+// rolls the workers' self-reported timing/allocs into the result. One
+// orchestrated run is enough: shard wall times are dominated by the
+// simulation itself, and the per-shard allocs are deterministic.
+func measureSharded(e *harness.Experiment, runner *sweep.Runner, seqNs int64) (*ShardedResult, error) {
+	t0 := time.Now()
+	res, err := runner.Run(e)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0)
+	sh := &ShardedResult{
+		Shards:   runner.Shards,
+		NsPerOp:  wall.Nanoseconds(),
+		PerShard: res.Shards,
+	}
+	if seqNs > 0 {
+		sh.SpeedupVsSeq = round2(float64(seqNs) / float64(wall.Nanoseconds()))
+	}
+	return sh, nil
+}
+
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

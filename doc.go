@@ -6,11 +6,11 @@
 // MACs (ALOHA/TDMA), Bianchi's analytical model, and a harness that
 // regenerates the full evaluation suite.
 //
-// Start with the README, DESIGN.md (system inventory and the paper-mismatch
-// note) and EXPERIMENTS.md (expected-vs-measured for every table/figure).
-// The public scenario API lives in internal/core; the runnable entry points
-// are cmd/wlansim, cmd/experiments, cmd/wlantrace, cmd/wlanbench and the
-// examples tree.
+// Start with README.md (architecture map, quickstart and the experiment
+// index with expected shapes) and PERFORMANCE.md (fast-path architecture
+// and the measured trajectory). The public scenario API lives in
+// internal/core; the runnable entry points are cmd/wlansim,
+// cmd/experiments, cmd/wlantrace, cmd/wlanbench and the examples tree.
 //
 // # Performance architecture
 //
@@ -31,4 +31,8 @@
 //   - internal/harness runs each experiment's independent scenario points
 //     on a bounded worker pool (GOMAXPROCS workers) with row order — and
 //     therefore output — bit-identical to sequential execution.
+//   - internal/sweep scales past one process: every experiment exposes its
+//     parameter grid (harness.Grid), and the sweep engine shards the grid
+//     across worker subprocesses (`experiments -shards N`) and merges the
+//     shard output into tables byte-identical to the sequential run.
 package repro

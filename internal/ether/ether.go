@@ -3,7 +3,7 @@
 // and inter-BSS traffic work. It models store-and-forward latency but not
 // Ethernet contention — the experiments never stress the wire, only the
 // air, so fidelity beyond frame relay and MAC learning would be dead
-// weight (recorded as a substitution in DESIGN.md).
+// weight (recorded as a substitution in README.md's model-fidelity notes).
 package ether
 
 import (

@@ -16,23 +16,24 @@ func init() {
 		ID:     "A1",
 		Title:  "Ablation: DSSS short vs long preamble across frame sizes",
 		Expect: "short preamble saves a fixed 96 µs per frame, so the relative gain is largest for small frames",
-		Run:    runA1,
+		Grid:   gridA1,
 	})
 	register(&Experiment{
 		ID:     "A2",
 		Title:  "Ablation: capture margin sweep on the hidden near/far topology",
 		Expect: "small margins capture aggressively (near station feasts); very large margins behave like capture off",
-		Run:    runA2,
+		Grid:   gridA2,
 	})
 }
 
-// runA1 compares long/short preamble goodput for several payload sizes.
-func runA1(quick bool) *stats.Table {
+// gridA1 compares long/short preamble goodput for several payload sizes.
+func gridA1(quick bool) *Grid {
 	t := stats.NewTable("A1: preamble ablation (802.11b, 11 Mbit/s, saturated)",
 		"payload B", "long Mbit/s", "short Mbit/s", "gain %")
+	t.Note = "the 96 µs saved per MPDU (and per ACK) amortizes poorly over long frames"
 	sizes := pick(quick, []int{100, 1500}, []int{64, 100, 256, 512, 1024, 1500})
 	dur := runDur(quick, 1*sim.Second, 3*sim.Second)
-	runParallel(t, len(sizes), func(si int) []string {
+	return &Grid{Table: t, N: len(sizes), Point: single(func(si int) []string {
 		size := sizes[si]
 		var got [2]float64
 		for i, short := range []bool{false, true} {
@@ -52,15 +53,14 @@ func runA1(quick bool) *stats.Table {
 			gain = 100 * (got[1] - got[0]) / got[0]
 		}
 		return []string{fmt.Sprint(size), stats.Mbps(got[0]), stats.Mbps(got[1]), stats.F(gain, 1)}
-	})
-	t.Note = "the 96 µs saved per MPDU (and per ACK) amortizes poorly over long frames"
-	return t
+	})}
 }
 
-// runA2 sweeps the capture margin on the F9 hidden near/far topology.
-func runA2(quick bool) *stats.Table {
+// gridA2 sweeps the capture margin on the F9 hidden near/far topology.
+func gridA2(quick bool) *Grid {
 	t := stats.NewTable("A2: capture margin sweep (hidden senders, 25 dB power gap, 1000B)",
 		"margin dB", "near Mbit/s", "far Mbit/s", "total Mbit/s")
+	t.Note = "the senders' power gap at the sink is 25 dB: margins above it disable capture"
 	margins := pick(quick, []float64{3, 30}, []float64{3, 6, 10, 20, 30})
 	dur := runDur(quick, 2*sim.Second, 4*sim.Second)
 
@@ -78,7 +78,7 @@ func runA2(quick bool) *stats.Table {
 		},
 		Resolver: func(p geom.Point) string { return names[p] },
 	}
-	runParallel(t, len(margins), func(i int) []string {
+	return &Grid{Table: t, N: len(margins), Point: single(func(i int) []string {
 		margin := margins[i]
 		net := core.NewNetwork(core.Config{
 			Seed: 1500, Capture: true, CaptureMarginDB: margin, PathLoss: pl,
@@ -91,7 +91,5 @@ func runA2(quick bool) *stats.Table {
 		net.Run(dur)
 		nT, fT := net.FlowThroughput(fn), net.FlowThroughput(ff)
 		return []string{stats.F(margin, 0), stats.Mbps(nT), stats.Mbps(fT), stats.Mbps(nT + fT)}
-	})
-	t.Note = "the senders' power gap at the sink is 25 dB: margins above it disable capture"
-	return t
+	})}
 }

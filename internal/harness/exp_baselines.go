@@ -24,13 +24,13 @@ func init() {
 		ID:     "F11",
 		Title:  "MAC comparison: ALOHA, slotted ALOHA, DCF, TDMA vs offered load",
 		Expect: "ALOHA peaks at 0.18, slotted at 0.37 and both collapse; DCF holds its plateau; TDMA tracks min(G,1)",
-		Run:    runF11,
+		Grid:   gridF11,
 	})
 	register(&Experiment{
 		ID:     "S1",
 		Title:  "Link privacy: WEP bit-flip forgery vs CCMP integrity",
 		Expect: "the CRC-linearity forgery passes WEP's ICV; CCMP rejects forgery and replay",
-		Run:    runS1,
+		Grid:   gridS1,
 	})
 }
 
@@ -83,17 +83,18 @@ func (w *baselineWorld) poissonDrive(perSenderPPS float64, enqueue []func()) {
 
 // runF11 sweeps offered load G for the four MACs and reports normalized
 // goodput S (frames per frame-time).
-func runF11(quick bool) *stats.Table {
+func gridF11(quick bool) *Grid {
 	t := stats.NewTable("F11: normalized goodput S vs offered load G (500B @ 11 Mbit/s)",
 		"G", "aloha", "slotted", "dcf", "tdma",
 		"aloha theory", "slotted theory")
+	t.Note = "S and G in frames per 11 Mbit/s frame-time; DCF pays preamble+IFS so its plateau sits below TDMA"
 	gs := pick(quick, []float64{0.25, 0.5, 1.0}, []float64{0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5})
 	const n = 10
 	const payload = 500
 	wire := payload + frame.DataHdrLen + frame.FCSLen
 	run := runDur(quick, 10*sim.Second, 25*sim.Second)
 
-	runParallel(t, len(gs), func(gi int) []string {
+	return &Grid{Table: t, N: len(gs), Point: single(func(gi int) []string {
 		g := gs[gi]
 		row := []string{stats.F(g, 2)}
 		mode := phy.Mode80211b()
@@ -172,56 +173,61 @@ func runF11(quick bool) *stats.Table {
 			stats.F(analytical.PureAlohaS(g), 3),
 			stats.F(analytical.SlottedAlohaS(g), 3))
 		return row
-	})
-	t.Note = "S and G in frames per 11 Mbit/s frame-time; DCF pays preamble+IFS so its plateau sits below TDMA"
-	return t
+	})}
 }
 
-// runS1 demonstrates the WEP integrity failure and CCMP's immunity.
-func runS1(bool) *stats.Table {
+// gridS1 demonstrates the WEP integrity failure and CCMP's immunity. The
+// whole demonstration is one deterministic scenario point that yields all
+// four table rows.
+func gridS1(bool) *Grid {
 	t := stats.NewTable("S1: link-privacy integrity (bit-flip forgery and replay)",
 		"scheme", "attack", "accepted?", "detail")
-
-	key := wep.Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
-	plain := []byte("PAY   10 DOLLARS")
-	target := []byte("PAY 9910 DOLLARS")
-	sealed, err := wep.Seal(key, wep.IV{7, 7, 7}, 0, plain)
-	if err != nil {
-		panic(err)
-	}
-	mask := make([]byte, len(plain))
-	for i := range plain {
-		mask[i] = plain[i] ^ target[i]
-	}
-	forged, err := wep.BitFlip(sealed, mask)
-	if err != nil {
-		panic(err)
-	}
-	got, err := wep.Open(key, forged)
-	wepForged := err == nil && bytes.Equal(got, target)
-	t.AddRow("WEP", "CRC bit-flip forgery", fmt.Sprint(wepForged),
-		"attacker rewrote the plaintext without the key")
-
-	// Random corruption is still caught by the ICV.
-	corrupt := append([]byte(nil), sealed...)
-	corrupt[wep.IVHeaderLen] ^= 0xff
-	_, err = wep.Open(key, corrupt)
-	t.AddRow("WEP", "random corruption", fmt.Sprint(err == nil), "ICV catches non-crafted damage")
-
-	tk := []byte("0123456789abcdef")
-	ta := [6]byte{2, 0, 0, 0, 0, 1}
-	ccmp, err := wep.SealCCMP(tk, ta, 1, nil, plain)
-	if err != nil {
-		panic(err)
-	}
-	flipped := append([]byte(nil), ccmp...)
-	flipped[wep.CCMPHeaderLen+4] ^= mask[4]
-	_, _, err = wep.OpenCCMP(tk, ta, nil, flipped, 0)
-	t.AddRow("CCMP", "CTR bit-flip forgery", fmt.Sprint(err == nil), "keyed MIC rejects the flip")
-
-	_, _, err = wep.OpenCCMP(tk, ta, nil, ccmp, 1)
-	t.AddRow("CCMP", "replay (stale PN)", fmt.Sprint(err == nil), "packet-number window rejects replays")
-
 	t.Note = "reproduces the security ranking in the survey: WEP integrity is forgeable, CCMP is not"
-	return t
+	return &Grid{Table: t, N: 1, Point: func(int) [][]string {
+		var rows [][]string
+
+		key := wep.Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+		plain := []byte("PAY   10 DOLLARS")
+		target := []byte("PAY 9910 DOLLARS")
+		sealed, err := wep.Seal(key, wep.IV{7, 7, 7}, 0, plain)
+		if err != nil {
+			panic(err)
+		}
+		mask := make([]byte, len(plain))
+		for i := range plain {
+			mask[i] = plain[i] ^ target[i]
+		}
+		forged, err := wep.BitFlip(sealed, mask)
+		if err != nil {
+			panic(err)
+		}
+		got, err := wep.Open(key, forged)
+		wepForged := err == nil && bytes.Equal(got, target)
+		rows = append(rows, []string{"WEP", "CRC bit-flip forgery", fmt.Sprint(wepForged),
+			"attacker rewrote the plaintext without the key"})
+
+		// Random corruption is still caught by the ICV.
+		corrupt := append([]byte(nil), sealed...)
+		corrupt[wep.IVHeaderLen] ^= 0xff
+		_, err = wep.Open(key, corrupt)
+		rows = append(rows, []string{"WEP", "random corruption", fmt.Sprint(err == nil),
+			"ICV catches non-crafted damage"})
+
+		tk := []byte("0123456789abcdef")
+		ta := [6]byte{2, 0, 0, 0, 0, 1}
+		ccmp, err := wep.SealCCMP(tk, ta, 1, nil, plain)
+		if err != nil {
+			panic(err)
+		}
+		flipped := append([]byte(nil), ccmp...)
+		flipped[wep.CCMPHeaderLen+4] ^= mask[4]
+		_, _, err = wep.OpenCCMP(tk, ta, nil, flipped, 0)
+		rows = append(rows, []string{"CCMP", "CTR bit-flip forgery", fmt.Sprint(err == nil),
+			"keyed MIC rejects the flip"})
+
+		_, _, err = wep.OpenCCMP(tk, ta, nil, ccmp, 1)
+		rows = append(rows, []string{"CCMP", "replay (stale PN)", fmt.Sprint(err == nil),
+			"packet-number window rejects replays"})
+		return rows
+	}}
 }

@@ -17,23 +17,24 @@ func init() {
 		ID:     "F10",
 		Title:  "ESS roaming: handoff behaviour vs hysteresis",
 		Expect: "small hysteresis roams early (short outage); large hysteresis clings to the old AP and suffers a longer gap",
-		Run:    runF10,
+		Grid:   gridF10,
 	})
 	register(&Experiment{
 		ID:     "F12",
 		Title:  "Power save: latency and sleep fraction vs beacon interval",
 		Expect: "PS sleeps >80% when idle; delivery latency rises to about half the beacon interval",
-		Run:    runF12,
+		Grid:   gridF12,
 	})
 }
 
 // runF10 walks a station between two APs on a shared ESS and varies the
 // roam hysteresis.
-func runF10(quick bool) *stats.Table {
+func gridF10(quick bool) *Grid {
 	t := stats.NewTable("F10: roaming across a 2-AP ESS (uplink CBR 50/s, walk 10 m/s)",
 		"hysteresis dB", "roams", "delivery %", "max outage ms", "final AP")
+	t.Note = "outage spans the rescan+reauth window; delivery counts CBR packets that crossed"
 	hys := pick(quick, []float64{6}, []float64{3, 6, 12})
-	runParallel(t, len(hys), func(i int) []string {
+	return &Grid{Table: t, N: len(hys), Point: single(func(i int) []string {
 		h := hys[i]
 		net := core.NewNetwork(core.Config{Seed: uint64(1000 + int(h))})
 		ap1 := net.AddAP("ap1", geom.Pt(0, 0), net80211.APConfig{SSID: "ess"})
@@ -61,16 +62,15 @@ func runF10(quick bool) *stats.Table {
 		}
 		return []string{stats.F(h, 0), fmt.Sprint(sta.STA.Stats.Roams),
 			stats.F(delivery, 1), stats.F(outage, 0), final}
-	})
-	t.Note = "outage spans the rescan+reauth window; delivery counts CBR packets that crossed"
-	return t
+	})}
 }
 
 // runF12 measures power-save latency/sleep trade-offs across beacon
 // intervals.
-func runF12(quick bool) *stats.Table {
+func gridF12(quick bool) *Grid {
 	t := stats.NewTable("F12: power save (downlink Poisson 20/s, 200B)",
 		"mode", "beacon TU", "mean delay ms", "p95 delay ms", "sleep %", "energy J", "delivered")
+	t.Note = "PS latency clusters around the next-beacon wait; energy uses the 1.4/0.9/0.74/0.047 W card model"
 	type variant struct {
 		ps     bool
 		beacon int
@@ -79,7 +79,7 @@ func runF12(quick bool) *stats.Table {
 		[]variant{{false, 100}, {true, 100}},
 		[]variant{{false, 100}, {true, 50}, {true, 100}, {true, 200}})
 	dur := runDur(quick, 4*sim.Second, 10*sim.Second)
-	runParallel(t, len(variants), func(i int) []string {
+	return &Grid{Table: t, N: len(variants), Point: single(func(i int) []string {
 		v := variants[i]
 		net := core.NewNetwork(core.Config{Seed: uint64(1200 + v.beacon)})
 		ap := net.AddAP("ap", geom.Pt(0, 0), net80211.APConfig{
@@ -112,7 +112,5 @@ func runF12(quick bool) *stats.Table {
 		return []string{mode, fmt.Sprint(v.beacon), stats.F(mean, 2), stats.F(p95, 2),
 			stats.F(100*slept.Seconds()/dur.Seconds(), 1), stats.F(energy, 2),
 			fmt.Sprint(delivered)}
-	})
-	t.Note = "PS latency clusters around the next-beacon wait; energy uses the 1.4/0.9/0.74/0.047 W card model"
-	return t
+	})}
 }

@@ -14,15 +14,16 @@ func init() {
 		ID:     "F13",
 		Title:  "Priority access (EDCA-style AIFS/CW differentiation) under load",
 		Expect: "a voice-class station (AIFSN 2, CW 7) keeps millisecond latency while background saturators (AIFSN 7, CW 63+) absorb the queueing; without differentiation voice latency blows up",
-		Run:    runF13,
+		Grid:   gridF13,
 	})
 }
 
 // runF13 contrasts a voice-like CBR flow against saturating background
 // traffic, with and without EDCA-style access differentiation.
-func runF13(quick bool) *stats.Table {
+func gridF13(quick bool) *Grid {
 	t := stats.NewTable("F13: priority access (voice CBR 160B/20ms vs saturated background, 802.11b)",
 		"scheme", "voice mean ms", "voice p95 ms", "voice loss %", "bg Mbit/s")
+	t.Note = "voice: AIFSN 2 + CW[7,15]; background: AIFSN 7 + CW[63,1023]; all share one channel"
 	const nBG = 8 // enough contention that legacy voice latency blows up
 	dur := runDur(quick, 3*sim.Second, 8*sim.Second)
 
@@ -67,7 +68,5 @@ func runF13(quick bool) *stats.Table {
 			stats.F(loss, 1), stats.Mbps(sumThroughput(net, bgFlows))}
 	}
 
-	runParallel(t, 2, func(i int) []string { return run(i == 1) })
-	t.Note = "voice: AIFSN 2 + CW[7,15]; background: AIFSN 7 + CW[63,1023]; all share one channel"
-	return t
+	return &Grid{Table: t, N: 2, Point: single(func(i int) []string { return run(i == 1) })}
 }

@@ -17,30 +17,31 @@ func init() {
 		ID:     "F4",
 		Title:  "Rate adaptation vs distance under Rayleigh fading",
 		Expect: "fixed top-rate collapses with range; adaptive drivers track the channel, throughput-samplers (samplerate/minstrel) degrade most gracefully",
-		Run:    runF4,
+		Grid:   gridF4,
 	})
 	register(&Experiment{
 		ID:     "F5",
 		Title:  "802.11b performance anomaly: one slow station drags everyone down",
 		Expect: "adding a 1 Mbit/s station collapses every 11 Mbit/s station to roughly the slow station's throughput",
-		Run:    runF5,
+		Grid:   gridF5,
 	})
 	register(&Experiment{
 		ID:     "F8",
 		Title:  "Fragmentation threshold on an erasure channel",
 		Expect: "on a noisy link an intermediate fragment size wins; on a clean link fragmentation is pure overhead",
-		Run:    runF8,
+		Grid:   gridF8,
 	})
 }
 
-// runF4 sweeps controller × distance on a fading 802.11a channel.
-func runF4(quick bool) *stats.Table {
+// gridF4 sweeps controller × distance on a fading 802.11a channel.
+func gridF4(quick bool) *Grid {
 	controllers := []string{"fixed", "arf", "aarf", "samplerate", "minstrel"}
 	cols := append([]string{"distance m"}, controllers...)
 	t := stats.NewTable("F4: goodput (Mbit/s) vs distance, 802.11a, Rayleigh fading", cols...)
+	t.Note = "fixed = pinned to 54 Mbit/s; adaptive drivers start at the lowest basic rate"
 	dists := pick(quick, []float64{15, 45, 75}, []float64{10, 20, 30, 40, 55, 70, 85, 100})
 	dur := runDur(quick, 1*sim.Second, 3*sim.Second)
-	runParallel(t, len(dists), func(i int) []string {
+	return &Grid{Table: t, N: len(dists), Point: single(func(i int) []string {
 		d := dists[i]
 		row := []string{stats.F(d, 0)}
 		for ci, ctrl := range controllers {
@@ -58,15 +59,14 @@ func runF4(quick bool) *stats.Table {
 			row = append(row, stats.Mbps(net.FlowThroughput(flow)))
 		}
 		return row
-	})
-	t.Note = "fixed = pinned to 54 Mbit/s; adaptive drivers start at the lowest basic rate"
-	return t
+	})}
 }
 
-// runF5 reproduces the Heusse et al. performance anomaly.
-func runF5(quick bool) *stats.Table {
+// gridF5 reproduces the Heusse et al. performance anomaly.
+func gridF5(quick bool) *Grid {
 	t := stats.NewTable("F5: performance anomaly (saturated uplink, 1000B)",
 		"scenario", "fast1", "fast2", "fast3", "slow", "agg Mbit/s")
+	t.Note = "per-frame fairness of DCF equalizes frame rates, not airtime: slow frames starve everyone"
 	dur := runDur(quick, 2*sim.Second, 5*sim.Second)
 
 	run := func(withSlow bool) []float64 {
@@ -86,7 +86,7 @@ func runF5(quick bool) *stats.Table {
 		return perFlowThroughput(net, flows)
 	}
 
-	runParallel(t, 2, func(i int) []string {
+	return &Grid{Table: t, N: 2, Point: single(func(i int) []string {
 		if i == 0 {
 			fastOnly := run(false)
 			return []string{"3 fast stations",
@@ -98,16 +98,15 @@ func runF5(quick bool) *stats.Table {
 		return []string{"3 fast + 1 slow (1 Mbit/s)",
 			stats.Mbps(withSlow[0]), stats.Mbps(withSlow[1]), stats.Mbps(withSlow[2]),
 			stats.Mbps(withSlow[3]), stats.Mbps(agg)}
-	})
-	t.Note = "per-frame fairness of DCF equalizes frame rates, not airtime: slow frames starve everyone"
-	return t
+	})}
 }
 
-// runF8 sweeps the fragmentation threshold on a fixed-SINR noisy channel
+// gridF8 sweeps the fragmentation threshold on a fixed-SINR noisy channel
 // and on a clean channel.
-func runF8(quick bool) *stats.Table {
+func gridF8(quick bool) *Grid {
 	t := stats.NewTable("F8: fragmentation threshold (1500B MSDU, 11 Mbit/s)",
 		"frag threshold", "noisy Mbit/s", "clean Mbit/s")
+	t.Note = "noisy channel: full-size MPDU PER ≈ 0.6; fragments fail (and retry) independently"
 	mode := phy.Mode80211b()
 	// Pick a loss that puts a full-size MPDU at ~60% PER.
 	sinr := mode.SINRForPER(3, 1528, 0.6)
@@ -116,7 +115,7 @@ func runF8(quick bool) *stats.Table {
 
 	frags := pick(quick, []int{2346, 512}, []int{2346, 1500, 1024, 512, 256})
 	dur := runDur(quick, 2*sim.Second, 5*sim.Second)
-	runParallel(t, len(frags), func(i int) []string {
+	return &Grid{Table: t, N: len(frags), Point: single(func(i int) []string {
 		fragTh := frags[i]
 		row := []string{fmt.Sprint(fragTh)}
 		for _, noisy := range []bool{true, false} {
@@ -132,7 +131,5 @@ func runF8(quick bool) *stats.Table {
 			row = append(row, stats.Mbps(net.FlowThroughput(flow)))
 		}
 		return row
-	})
-	t.Note = "noisy channel: full-size MPDU PER ≈ 0.6; fragments fail (and retry) independently"
-	return t
+	})}
 }

@@ -16,42 +16,43 @@ func init() {
 		ID:     "T1",
 		Title:  "PHY comparison: nominal vs achieved throughput per standard",
 		Expect: "achieved goodput well below nominal; legacy FHSS is most efficient, ERP-g pays slot+signal-extension overhead",
-		Run:    runT1,
+		Grid:   gridT1,
 	})
 	register(&Experiment{
 		ID:     "F1",
 		Title:  "DCF saturation throughput vs station count (basic vs RTS/CTS) vs Bianchi",
 		Expect: "gentle decay with n; simulation tracks the analytical model within a few percent",
-		Run:    runF1,
+		Grid:   gridF1,
 	})
 	register(&Experiment{
 		ID:     "F2",
 		Title:  "Delivered throughput and delay vs offered load",
 		Expect: "linear until the capacity knee, then saturation and delay blow-up",
-		Run:    runF2,
+		Grid:   gridF2,
 	})
 	register(&Experiment{
 		ID:     "F6",
 		Title:  "Jain fairness index vs station count (saturated DCF)",
 		Expect: "long-run per-station fairness stays near 1.0",
-		Run:    runF6,
+		Grid:   gridF6,
 	})
 	register(&Experiment{
 		ID:     "F7",
 		Title:  "Contention window ablation: CWmin vs throughput at low/high n",
 		Expect: "small CW collapses at high n (collisions); large CW wastes idle slots at low n",
-		Run:    runF7,
+		Grid:   gridF7,
 	})
 }
 
-// runT1 reproduces the supplied text's comparison table: one saturated
+// gridT1 reproduces the supplied text's comparison table: one saturated
 // station per PHY standard, nominal top rate vs achieved goodput.
-func runT1(quick bool) *stats.Table {
+func gridT1(quick bool) *Grid {
 	t := stats.NewTable("T1: PHY comparison (1 STA, saturated, 1472B payload, 5 m)",
 		"standard", "nominal Mbit/s", "achieved Mbit/s", "efficiency %")
+	t.Note = "efficiency gap comes from PLCP preamble, IFS, backoff and ACK overheads"
 	dur := runDur(quick, 1*sim.Second, 4*sim.Second)
 	modes := []string{"802.11", "802.11b", "802.11a", "802.11g"}
-	runParallel(t, len(modes), func(i int) []string {
+	return &Grid{Table: t, N: len(modes), Point: single(func(i int) []string {
 		modeName := modes[i]
 		net := core.NewNetwork(core.Config{Seed: 11, Mode: modeName})
 		a := net.AddAdhoc("a", geom.Pt(0, 0))
@@ -62,20 +63,19 @@ func runT1(quick bool) *stats.Table {
 		achieved := net.FlowThroughput(flow)
 		return []string{modeName, stats.Mbps(nominal), stats.Mbps(achieved),
 			stats.F(100*achieved/nominal, 1)}
-	})
-	t.Note = "efficiency gap comes from PLCP preamble, IFS, backoff and ACK overheads"
-	return t
+	})}
 }
 
-// runF1 sweeps saturated station counts for basic and RTS/CTS access and
+// gridF1 sweeps saturated station counts for basic and RTS/CTS access and
 // overlays Bianchi's model.
-func runF1(quick bool) *stats.Table {
+func gridF1(quick bool) *Grid {
 	t := stats.NewTable("F1: saturation throughput vs n (802.11b, 11 Mbit/s, 1500B)",
 		"n", "basic Mbit/s", "rts Mbit/s", "bianchi basic", "bianchi rts")
+	t.Note = "simulated points should track Bianchi within a few percent"
 	ns := pick(quick, []int{1, 5, 10}, []int{1, 2, 5, 10, 15, 20, 30, 40, 50})
 	dur := runDur(quick, 1500*sim.Millisecond, 5*sim.Second)
 	const payload = 1500
-	runParallel(t, len(ns), func(i int) []string {
+	return &Grid{Table: t, N: len(ns), Point: single(func(i int) []string {
 		n := ns[i]
 		basicNet, _, basicFlows := star(core.Config{Seed: uint64(100 + n)}, n, payload)
 		basicNet.Run(dur)
@@ -92,22 +92,21 @@ func runF1(quick bool) *stats.Table {
 
 		return []string{fmt.Sprint(n), stats.Mbps(basic), stats.Mbps(rts),
 			stats.Mbps(anaBasic), stats.Mbps(anaRTS)}
-	})
-	t.Note = "simulated points should track Bianchi within a few percent"
-	return t
+	})}
 }
 
-// runF2 sweeps Poisson offered load through a 10-station BSS.
-func runF2(quick bool) *stats.Table {
+// gridF2 sweeps Poisson offered load through a 10-station BSS.
+func gridF2(quick bool) *Grid {
 	t := stats.NewTable("F2: delivered throughput & delay vs offered load (10 stations, 1000B)",
 		"offered Mbit/s", "delivered Mbit/s", "loss %", "mean delay ms", "p95 delay ms")
+	t.Note = "offered load counts generator arrivals; loss includes queue drops"
 	const nSta = 10
 	const payload = 1000
 	loads := pick(quick,
 		[]float64{2e6, 5e6, 8e6},
 		[]float64{1e6, 2e6, 3e6, 4e6, 5e6, 6e6, 7e6, 8e6, 10e6})
 	dur := runDur(quick, 2*sim.Second, 5*sim.Second)
-	runParallel(t, len(loads), func(i int) []string {
+	return &Grid{Table: t, N: len(loads), Point: single(func(i int) []string {
 		load := loads[i]
 		net := core.NewNetwork(core.Config{Seed: uint64(load / 1e5)})
 		sink := net.AddAdhoc("sink", geom.Pt(0, 0))
@@ -152,18 +151,16 @@ func runF2(quick bool) *stats.Table {
 		}
 		return []string{stats.Mbps(load), stats.Mbps(delivered), stats.F(loss, 1),
 			stats.F(meanDelay*1000, 2), stats.F(latH.Quantile(1)*1000, 2)}
-	})
-	t.Note = "offered load counts generator arrivals; loss includes queue drops"
-	return t
+	})}
 }
 
-// runF6 computes Jain's fairness index across saturated stations.
-func runF6(quick bool) *stats.Table {
+// gridF6 computes Jain's fairness index across saturated stations.
+func gridF6(quick bool) *Grid {
 	t := stats.NewTable("F6: Jain fairness vs station count (saturated 802.11b)",
 		"n", "jain index", "min/max ratio", "agg Mbit/s")
 	ns := pick(quick, []int{2, 10}, []int{2, 5, 10, 20, 35})
 	dur := runDur(quick, 2*sim.Second, 5*sim.Second)
-	runParallel(t, len(ns), func(i int) []string {
+	return &Grid{Table: t, N: len(ns), Point: single(func(i int) []string {
 		n := ns[i]
 		net, _, flows := star(core.Config{Seed: uint64(600 + n)}, n, 1000)
 		net.Run(dur)
@@ -183,17 +180,17 @@ func runF6(quick bool) *stats.Table {
 		}
 		return []string{fmt.Sprint(n), stats.F(stats.JainIndex(per), 4),
 			stats.F(ratio, 3), stats.Mbps(sumThroughput(net, flows))}
-	})
-	return t
+	})}
 }
 
-// runF7 ablates CWmin at two contention levels.
-func runF7(quick bool) *stats.Table {
+// gridF7 ablates CWmin at two contention levels.
+func gridF7(quick bool) *Grid {
 	t := stats.NewTable("F7: CWmin ablation (802.11b, 1000B, saturated)",
 		"CWmin", "n=5 Mbit/s", "n=20 Mbit/s")
+	t.Note = "small CW: collision losses at n=20; large CW: idle-slot waste at n=5"
 	cws := pick(quick, []int{7, 31, 255}, []int{7, 15, 31, 63, 127, 255})
 	dur := runDur(quick, 1500*sim.Millisecond, 4*sim.Second)
-	runParallel(t, len(cws), func(i int) []string {
+	return &Grid{Table: t, N: len(cws), Point: single(func(i int) []string {
 		cw := cws[i]
 		row := []string{fmt.Sprint(cw)}
 		for _, n := range []int{5, 20} {
@@ -204,7 +201,5 @@ func runF7(quick bool) *stats.Table {
 			row = append(row, stats.Mbps(sumThroughput(net, flows)))
 		}
 		return row
-	})
-	t.Note = "small CW: collision losses at n=20; large CW: idle-slot waste at n=5"
-	return t
+	})}
 }

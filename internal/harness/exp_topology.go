@@ -16,13 +16,13 @@ func init() {
 		ID:     "F3",
 		Title:  "Hidden terminal: RTS/CTS on vs off (2 Mbit/s, 1500B: long collision window)",
 		Expect: "basic access collapses under hidden-node collisions; RTS/CTS restores most throughput",
-		Run:    runF3,
+		Grid:   gridF3,
 	})
 	register(&Experiment{
 		ID:     "F9",
 		Title:  "Capture effect: near/far contention with capture on vs off",
 		Expect: "capture raises total throughput but skews it toward the near station",
-		Run:    runF9,
+		Grid:   gridF9,
 	})
 }
 
@@ -45,11 +45,12 @@ func hiddenPathLoss() spectrum.PathLoss {
 // RTS/CTS protection. The data rate is pinned to 2 Mbit/s so a collision
 // wastes a ~6.3 ms frame under basic access but only a 272 µs RTS under
 // protection — the regime where the textbook result holds.
-func runF3(quick bool) *stats.Table {
+func gridF3(quick bool) *Grid {
 	t := stats.NewTable("F3: hidden terminal (2 hidden senders → 1 receiver, 1500B @ 2 Mbit/s)",
 		"access", "agg Mbit/s", "flowA Mbit/s", "flowC Mbit/s", "retries", "drops")
+	t.Note = "senders are 200 dB apart: carrier sense is blind between them"
 	dur := runDur(quick, 3*sim.Second, 8*sim.Second)
-	runParallel(t, 2, func(i int) []string {
+	return &Grid{Table: t, N: 2, Point: single(func(i int) []string {
 		rts := i == 1
 		cfg := core.Config{Seed: 300, PathLoss: hiddenPathLoss(), RateAdapt: "fixed:1"}
 		name := "basic"
@@ -71,18 +72,17 @@ func runF3(quick bool) *stats.Table {
 			stats.Mbps(net.FlowThroughput(fa) + net.FlowThroughput(fc)),
 			stats.Mbps(net.FlowThroughput(fa)), stats.Mbps(net.FlowThroughput(fc)),
 			fmt.Sprint(retries), fmt.Sprint(drops)}
-	})
-	t.Note = "senders are 200 dB apart: carrier sense is blind between them"
-	return t
+	})}
 }
 
 // runF9 contrasts a strong and a weak saturated sender that are hidden from
 // each other — so their frames overlap constantly at the receiver — with
 // capture on and off. Carrier-sensing senders would almost never collide,
 // which is why the experiment needs the hidden topology to expose capture.
-func runF9(quick bool) *stats.Table {
+func gridF9(quick bool) *Grid {
 	t := stats.NewTable("F9: capture effect (hidden senders at 5 m and 40 m, 1000B)",
 		"capture", "near Mbit/s", "far Mbit/s", "total Mbit/s", "jain")
+	t.Note = "25 dB power gap: with capture the receiver re-locks onto the near frame mid-collision"
 	dur := runDur(quick, 2*sim.Second, 5*sim.Second)
 
 	// near/far both reach the sink but not each other (hidden pair).
@@ -101,7 +101,7 @@ func runF9(quick bool) *stats.Table {
 		Resolver: func(p geom.Point) string { return names[p] },
 	}
 
-	runParallel(t, 2, func(i int) []string {
+	return &Grid{Table: t, N: 2, Point: single(func(i int) []string {
 		capture := i == 1
 		net := core.NewNetwork(core.Config{Seed: 900, Capture: capture, PathLoss: pl})
 		sink := net.AddAdhoc("sink", posSink)
@@ -114,7 +114,5 @@ func runF9(quick bool) *stats.Table {
 		nT, fT := net.FlowThroughput(fn), net.FlowThroughput(ff)
 		return []string{fmt.Sprint(capture), stats.Mbps(nT), stats.Mbps(fT),
 			stats.Mbps(nT + fT), stats.F(stats.JainIndex([]float64{nT, fT}), 3)}
-	})
-	t.Note = "25 dB power gap: with capture the receiver re-locks onto the near frame mid-collision"
-	return t
+	})}
 }

@@ -1,12 +1,21 @@
 // Package harness defines and runs the evaluation suite: one experiment per
-// table/figure in DESIGN.md's experiment index. Each experiment builds its
+// table/figure in README.md's experiment index. Each experiment builds its
 // scenario through the core API, runs it, and renders a stats.Table whose
-// rows are the series the corresponding figure plots.
+// rows are the series the corresponding figure plots. The suite is the
+// canonical evaluation set for an 802.11 MAC/driver mechanism paper; each
+// Experiment records its literature-predicted shape in Expect.
 //
-// Because the true paper text was unavailable (see the mismatch note in
-// DESIGN.md), the suite is the canonical evaluation set for an 802.11
-// MAC/driver mechanism paper; EXPERIMENTS.md records the expected-vs-
-// measured shape for every entry.
+// # Parameter grids
+//
+// An experiment is described as a Grid: a table skeleton plus N independent
+// scenario points. Point(i) must be self-contained and pure — it builds,
+// runs and measures its own core.Network(s) from a seed derived only from
+// the point parameters (sim.DeriveSeed is the canonical mixer for new
+// experiments) — so any subset of points can be evaluated anywhere, in any
+// order, and reassembled into a table byte-identical to the sequential run.
+// That property is what the multi-process sweep engine (internal/sweep) and
+// the in-process worker pool both rely on, and it is pinned by the
+// merge-determinism tests in internal/sweep.
 package harness
 
 import (
@@ -23,15 +32,56 @@ import (
 
 // Experiment is one reproducible table/figure.
 type Experiment struct {
-	// ID is the experiment key: "T1", "F1" … "F12", "S1".
+	// ID is the experiment key: "T1", "F1" … "F13", "S1", "A1"….
 	ID string
 	// Title is the human-readable name.
 	Title string
 	// Expect describes the shape the literature predicts.
 	Expect string
-	// Run executes the experiment; quick mode trades points/runtime for
-	// speed (used by tests and benchmarks).
-	Run func(quick bool) *stats.Table
+	// Grid describes the experiment's parameter grid; quick mode trades
+	// points/runtime for speed (used by tests and benchmarks).
+	Grid func(quick bool) *Grid
+}
+
+// Run evaluates every point of the experiment's grid on the in-process
+// worker pool and returns the finished table.
+func (e *Experiment) Run(quick bool) *stats.Table { return e.Grid(quick).Run() }
+
+// Grid is an experiment decomposed into its parameter grid: a table
+// skeleton (title, columns, note — no rows) and N independent scenario
+// points. Point(i) returns the fully formatted table rows for point i
+// (usually exactly one); it must not touch shared state, so points can be
+// evaluated concurrently or in separate processes and merged in point
+// order.
+type Grid struct {
+	Table *stats.Table
+	N     int
+	Point func(i int) [][]string
+}
+
+// single adapts the common one-row-per-point shape to Grid.Point.
+func single(f func(i int) []string) func(i int) [][]string {
+	return func(i int) [][]string { return [][]string{f(i)} }
+}
+
+// Run evaluates all points on the worker pool and fills the table in point
+// order.
+func (g *Grid) Run() *stats.Table {
+	groups := make([][][]string, g.N)
+	runParallel(g.N, func(i int) { groups[i] = g.Point(i) })
+	for _, rows := range groups {
+		g.Table.AddRows(rows)
+	}
+	return g.Table
+}
+
+// RunPoints evaluates an explicit subset of points on the worker pool and
+// returns each point's rows, indexed like pts. It is the shard evaluation
+// primitive used by sweep workers.
+func (g *Grid) RunPoints(pts []int) [][][]string {
+	groups := make([][][]string, len(pts))
+	runParallel(len(pts), func(i int) { groups[i] = g.Point(pts[i]) })
+	return groups
 }
 
 // registry holds all experiments keyed by ID.
@@ -90,11 +140,10 @@ func expKey(id string) int {
 // order.
 var Workers int
 
-// runParallel evaluates n independent scenario points on a bounded worker
-// pool and appends each point's row to the table in point order. The point
-// function must be self-contained: it builds, runs and measures its own
-// core.Network(s) and returns the finished table row.
-func runParallel(t *stats.Table, n int, point func(i int) []string) {
+// runParallel evaluates n independent work items on a bounded worker pool.
+// Each item must be self-contained (no shared state), so results are
+// bit-identical whatever the worker count.
+func runParallel(n int, work func(i int)) {
 	w := Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -102,32 +151,28 @@ func runParallel(t *stats.Table, n int, point func(i int) []string) {
 	if w > n {
 		w = n
 	}
-	rows := make([][]string, n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			rows[i] = point(i)
+			work(i)
 		}
-	} else {
-		var wg sync.WaitGroup
-		idx := make(chan int)
-		for k := 0; k < w; k++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					rows[i] = point(i)
-				}
-			}()
-		}
-		for i := 0; i < n; i++ {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
+		return
 	}
-	for _, row := range rows {
-		t.AddRow(row...)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				work(i)
+			}
+		}()
 	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // --- shared scenario builders -------------------------------------------------

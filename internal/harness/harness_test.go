@@ -32,8 +32,15 @@ func TestRegistryComplete(t *testing.T) {
 		t.Errorf("ordering: first=%s last=%s", all[0].ID, all[len(all)-1].ID)
 	}
 	for _, e := range all {
-		if e.Title == "" || e.Expect == "" || e.Run == nil {
+		if e.Title == "" || e.Expect == "" || e.Grid == nil {
 			t.Errorf("experiment %s incompletely defined", e.ID)
+		}
+		g := e.Grid(true)
+		if g.Table == nil || g.N < 1 || g.Point == nil {
+			t.Errorf("experiment %s grid incompletely defined", e.ID)
+		}
+		if len(g.Table.Rows) != 0 {
+			t.Errorf("experiment %s grid skeleton already has rows", e.ID)
 		}
 	}
 }

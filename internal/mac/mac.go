@@ -21,6 +21,17 @@
 // a pool of QueueCap()+2 slots advanced per accepted Enqueue is always
 // safe. Callers that retain a frame elsewhere while also enqueueing it
 // (e.g. power-save buffers) must hand the MAC a Clone.
+//
+// # Receive frame ownership
+//
+// Frames delivered upward through a Receiver are zero-copy views into
+// pooled decode buffers shared by the whole medium fan-out; they are valid
+// only for the duration of the callback. Any consumer that retains a
+// frame, its body, or a slice derived from the body — forwarding queues,
+// power-save buffers, reassembly state — must deep-copy what it keeps with
+// frame.Frame.Clone. Violations do not crash: they silently read whatever
+// the pool decoded next, which is exactly the class of bug the golden
+// traces (internal/harness/testdata) exist to catch.
 package mac
 
 import (

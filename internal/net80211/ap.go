@@ -3,6 +3,23 @@
 // buffering), stations (scanning, join state machine, roaming with
 // hysteresis, PS-Poll sleep cycles) and ad-hoc IBSS nodes. It corresponds
 // to the SME/MLME layer a driver stack implements above mac80211.
+//
+// # Frame ownership contracts
+//
+// Two rules keep the allocation-free fast paths sound; every send or
+// receive path added to this package must follow them:
+//
+//   - RX frames are views. Frames arriving from the MAC (mac.Receiver) are
+//     zero-copy views into pooled decode buffers, valid only during the
+//     callback. Retain nothing without frame.Frame.Clone — the AP's
+//     wired-DS forwarding, the power-save buffer and the reassembler all
+//     clone before they keep.
+//   - TX frames are MAC-owned after Enqueue. A frame handed to
+//     mac.DCF.Enqueue (and its body) belongs to the MAC until the MSDU is
+//     delivered or dropped; the MAC mutates and retransmits from that
+//     storage in place. Send paths therefore draw frames from the
+//     per-node txPool — QueueCap()+2 slots, advanced only when Enqueue
+//     accepts — and must never recycle a slot the MAC may still hold.
 package net80211
 
 import (

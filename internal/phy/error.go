@@ -15,7 +15,8 @@ import (
 // sensitivities land within a few dB of the standard's receiver minimums
 // and, more importantly for MAC/driver studies, the *ordering* and
 // *spacing* of the rate ladder is correct, so rate adaptation sees the
-// right crossover structure. DESIGN.md records this substitution.
+// right crossover structure. README.md's model-fidelity notes record this
+// substitution.
 
 // qfunc is the Gaussian tail function Q(x).
 func qfunc(x float64) float64 {

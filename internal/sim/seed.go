@@ -1,0 +1,20 @@
+package sim
+
+// DeriveSeed mixes a base scenario seed with a stream index (a scenario
+// point, a shard, a replication number …) into an independent-looking
+// 64-bit seed. It is the canonical way for sweep code to give every point
+// of a parameter grid its own reproducible seed: the mix is a pure
+// function of (base, stream), so a point evaluated alone, inside the full
+// sequential run, or in a worker subprocess on another machine draws the
+// same random stream.
+//
+// The mixer is the SplitMix64 finalizer (the same construction internal/rng
+// uses to expand scenario seeds), which disperses adjacent stream indices
+// across the whole 64-bit space — unlike additive schemes such as base+i,
+// two grids with overlapping bases cannot shadow each other's streams.
+func DeriveSeed(base, stream uint64) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -159,6 +159,14 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
 
+// AddRows appends pre-formatted rows in order. It is the merge primitive
+// for distributed table assembly: a table skeleton plus per-point row
+// groups appended in point order renders byte-identically to the table the
+// sequential run would have produced (internal/sweep relies on this).
+func (t *Table) AddRows(rows [][]string) {
+	t.Rows = append(t.Rows, rows...)
+}
+
 // Render formats the table as aligned text.
 func (t *Table) Render() string {
 	widths := make([]int, len(t.Columns))

@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"sync"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// SpawnFunc launches the worker for one shard of one experiment and
+// returns the worker's stdout (the WriteShard wire format). Implementations
+// are free to run the shard anywhere — a subprocess, a container, another
+// machine — as long as the bytes come back.
+type SpawnFunc func(expID string, shard, shards int) ([]byte, error)
+
+// Runner executes experiments across shards and merges the results.
+type Runner struct {
+	// Shards is the number of shards the grid is split into (≥ 1).
+	Shards int
+	// Quick selects the quick-mode grid.
+	Quick bool
+	// Spawn launches one shard worker. Nil falls back to in-process
+	// workers evaluated one shard at a time through the exact same
+	// WriteShard/ParseShard path, so the merge machinery is exercised
+	// identically with zero process overhead. Shards are sequential on
+	// purpose: RunWorker measures its shard through process-global
+	// counters (MemStats, the simulator event count), and concurrent
+	// in-process shards would attribute each other's work; the points
+	// inside each shard still run on the harness worker pool.
+	Spawn SpawnFunc
+}
+
+// Result is one experiment's merged sweep output.
+type Result struct {
+	Table  *stats.Table
+	Shards []ShardStats
+}
+
+// Run fans the experiment's grid out to Shards workers, waits for all of
+// them, and merges their output into a table byte-identical to e.Run.
+func (r *Runner) Run(e *harness.Experiment) (*Result, error) {
+	shards := r.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	g := e.Grid(r.Quick)
+
+	outs := make([][]byte, shards)
+	errs := make([]error, shards)
+	if r.Spawn != nil {
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				outs[s], errs[s] = r.Spawn(e.ID, s, shards)
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for s := 0; s < shards; s++ {
+			var buf bytes.Buffer
+			errs[s] = RunWorker(e, s, shards, r.Quick, &buf)
+			outs[s] = buf.Bytes()
+		}
+	}
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s shard %d/%d: %w", e.ID, s, shards, err)
+		}
+	}
+
+	maps := make([]map[int][][]string, shards)
+	sts := make([]ShardStats, shards)
+	for s, out := range outs {
+		h, byPoint, st, err := ParseShard(bytes.NewReader(out))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s shard %d/%d: %w", e.ID, s, shards, err)
+		}
+		if h.Exp != e.ID || h.Shard != s || h.Shards != shards || h.Quick != r.Quick {
+			return nil, fmt.Errorf("sweep: %s shard %d/%d: worker answered for exp=%s shard=%d/%d quick=%t",
+				e.ID, s, shards, h.Exp, h.Shard, h.Shards, h.Quick)
+		}
+		maps[s], sts[s] = byPoint, st
+	}
+	sort.Slice(sts, func(i, j int) bool { return sts[i].Shard < sts[j].Shard })
+
+	table, err := Merge(g.Table, g.N, maps)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", e.ID, err)
+	}
+	return &Result{Table: table, Shards: sts}, nil
+}
+
+// ExecSpawner returns a SpawnFunc that re-execs bin with the standard
+// worker argv — `-shard i/N -experiment ID` followed by extraArgs — and
+// captures its stdout. Worker stderr is passed through to the parent's
+// stderr so progress and crash output stay visible.
+func ExecSpawner(bin string, extraArgs ...string) SpawnFunc {
+	return func(expID string, shard, shards int) ([]byte, error) {
+		argv := append([]string{
+			"-shard", fmt.Sprintf("%d/%d", shard, shards),
+			"-experiment", expID,
+		}, extraArgs...)
+		cmd := exec.Command(bin, argv...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("worker %s %v: %w", bin, argv, err)
+		}
+		return out, nil
+	}
+}
+
+// ParseShardSpec parses the "-shard i/N" flag value.
+func ParseShardSpec(spec string) (shard, shards int, err error) {
+	if _, err = fmt.Sscanf(spec, "%d/%d", &shard, &shards); err != nil {
+		return 0, 0, fmt.Errorf("sweep: bad shard spec %q (want i/N): %v", spec, err)
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("sweep: shard spec %q out of range", spec)
+	}
+	return shard, shards, nil
+}

@@ -1,0 +1,244 @@
+// Package sweep is the control plane for full-fidelity evaluation sweeps:
+// it decomposes any harness.Experiment into deterministic shards (subsets
+// of the experiment's parameter grid), fans the shards out to worker
+// subprocesses — or to in-process workers when no spawner is configured —
+// and merges the shard outputs into a table byte-identical to the one the
+// sequential run produces.
+//
+// The split keeps sweep orchestration (this package) separate from
+// per-scenario simulation (internal/harness and below): a worker evaluates
+// its owned points with a plain harness.Grid and never sees the other
+// shards, so full-mode sweeps scale across processes and machines instead
+// of being bounded by one Go runtime's scheduler and garbage collector.
+//
+// # Shard protocol
+//
+// A worker is any process that writes the wire format of WriteShard to its
+// stdout — cmd/experiments and cmd/wlanbench both expose it behind
+// `-shard i/N -experiment ID`. The format is line-oriented CSV with
+// `#`-prefixed framing so a shard dump is also a readable artifact:
+//
+//	# sweep v1 exp=F1 shard=0/2 quick=true
+//	# point 0
+//	1,0.85,0.80,0.84,0.79
+//	# point 2
+//	10,4.71,4.40,4.60,4.47
+//	# stats points=2 rows=2 wall_ns=41873232 allocs=10352 bytes=1204224 events=1310720
+//	# end
+//
+// Because rows carry the exact pre-rendered cells, the parent can rebuild
+// the table skeleton locally (same binary, same grid) and append the rows
+// in point order; Render and CSV output are then byte-identical to the
+// sequential run. That property is pinned by TestMergeDeterminism.
+package sweep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// Points returns the point indices shard s of n owns out of total points:
+// the deterministic round-robin assignment {i : i mod n == s}. It is valid
+// for any n ≥ 1, including n greater than total (trailing shards own
+// nothing).
+func Points(shard, shards, total int) []int {
+	var pts []int
+	for i := shard; i < total; i += shards {
+		pts = append(pts, i)
+	}
+	return pts
+}
+
+// Header identifies one shard's output.
+type Header struct {
+	Exp    string
+	Shard  int
+	Shards int
+	Quick  bool
+}
+
+// ShardStats is a worker's self-measured cost, rolled up by the parent
+// into per-experiment reports (cmd/wlanbench).
+type ShardStats struct {
+	Shard  int    `json:"shard"`
+	Points int    `json:"points"`
+	Rows   int    `json:"rows"`
+	WallNs int64  `json:"wall_ns"`
+	Allocs uint64 `json:"allocs"`
+	Bytes  uint64 `json:"bytes"`
+	Events uint64 `json:"events"`
+}
+
+// RunWorker evaluates the points of e owned by shard and writes the shard
+// protocol to w. It is the whole worker side of the engine: both
+// cmd/experiments and cmd/wlanbench call it from their -shard modes.
+func RunWorker(e *harness.Experiment, shard, shards int, quick bool, w io.Writer) error {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return fmt.Errorf("sweep: invalid shard %d/%d", shard, shards)
+	}
+	g := e.Grid(quick)
+	pts := Points(shard, shards, g.N)
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	evBefore := core.SimEvents()
+	t0 := time.Now()
+	groups := g.RunPoints(pts)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&msAfter)
+
+	st := ShardStats{
+		Shard:  shard,
+		Points: len(pts),
+		WallNs: wall.Nanoseconds(),
+		Allocs: msAfter.Mallocs - msBefore.Mallocs,
+		Bytes:  msAfter.TotalAlloc - msBefore.TotalAlloc,
+		Events: core.SimEvents() - evBefore,
+	}
+	for _, rows := range groups {
+		st.Rows += len(rows)
+	}
+
+	byPoint := make(map[int][][]string, len(pts))
+	for i, p := range pts {
+		byPoint[p] = groups[i]
+	}
+	return WriteShard(w, Header{Exp: e.ID, Shard: shard, Shards: shards, Quick: quick}, byPoint, st)
+}
+
+// WriteShard encodes one shard's row groups in the wire format. Cells must
+// round-trip through one CSV line each; a cell containing a comma, a
+// newline or a leading '#' cannot, and makes WriteShard fail loudly rather
+// than corrupt the merged table.
+func WriteShard(w io.Writer, h Header, byPoint map[int][][]string, st ShardStats) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# sweep v1 exp=%s shard=%d/%d quick=%t\n", h.Exp, h.Shard, h.Shards, h.Quick)
+	pts := make([]int, 0, len(byPoint))
+	for p := range byPoint {
+		pts = append(pts, p)
+	}
+	sort.Ints(pts)
+	for _, p := range pts {
+		fmt.Fprintf(bw, "# point %d\n", p)
+		for _, row := range byPoint[p] {
+			for i, cell := range row {
+				if strings.ContainsAny(cell, ",\n") || strings.HasPrefix(cell, "#") {
+					return fmt.Errorf("sweep: cell %q of %s point %d cannot round-trip the wire format", cell, h.Exp, p)
+				}
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				bw.WriteString(cell)
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(bw, "# stats points=%d rows=%d wall_ns=%d allocs=%d bytes=%d events=%d\n",
+		st.Points, st.Rows, st.WallNs, st.Allocs, st.Bytes, st.Events)
+	fmt.Fprintf(bw, "# end\n")
+	return bw.Flush()
+}
+
+// ParseShard decodes one shard's output.
+func ParseShard(r io.Reader) (Header, map[int][][]string, ShardStats, error) {
+	var (
+		h       Header
+		st      ShardStats
+		byPoint = map[int][][]string{}
+		point   = -1
+		started bool
+		ended   bool
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# sweep v1 "):
+			if _, err := fmt.Sscanf(line, "# sweep v1 exp=%s shard=%d/%d quick=%t",
+				&h.Exp, &h.Shard, &h.Shards, &h.Quick); err != nil {
+				return h, nil, st, fmt.Errorf("sweep: bad header %q: %v", line, err)
+			}
+			started = true
+		case !started:
+			// Tolerate noise (e.g. a runtime warning) before the header.
+			continue
+		case strings.HasPrefix(line, "# point "):
+			if _, err := fmt.Sscanf(line, "# point %d", &point); err != nil {
+				return h, nil, st, fmt.Errorf("sweep: bad point marker %q: %v", line, err)
+			}
+			if _, dup := byPoint[point]; dup {
+				return h, nil, st, fmt.Errorf("sweep: duplicate point %d in shard %d/%d", point, h.Shard, h.Shards)
+			}
+			byPoint[point] = nil
+		case strings.HasPrefix(line, "# stats "):
+			if _, err := fmt.Sscanf(line, "# stats points=%d rows=%d wall_ns=%d allocs=%d bytes=%d events=%d",
+				&st.Points, &st.Rows, &st.WallNs, &st.Allocs, &st.Bytes, &st.Events); err != nil {
+				return h, nil, st, fmt.Errorf("sweep: bad stats line %q: %v", line, err)
+			}
+			st.Shard = h.Shard
+		case line == "# end":
+			ended = true
+		case strings.HasPrefix(line, "#"):
+			// Unknown framing from a newer writer: ignore.
+		default:
+			if point < 0 {
+				return h, nil, st, fmt.Errorf("sweep: row %q before any point marker", line)
+			}
+			byPoint[point] = append(byPoint[point], strings.Split(line, ","))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return h, nil, st, err
+	}
+	if !started {
+		return h, nil, st, fmt.Errorf("sweep: no shard header found")
+	}
+	if !ended {
+		return h, nil, st, fmt.Errorf("sweep: truncated shard output (missing # end)")
+	}
+	rows := 0
+	for _, g := range byPoint {
+		rows += len(g)
+	}
+	if len(byPoint) != st.Points || rows != st.Rows {
+		return h, nil, st, fmt.Errorf("sweep: shard %d/%d integrity: got %d points/%d rows, trailer says %d/%d",
+			h.Shard, h.Shards, len(byPoint), rows, st.Points, st.Rows)
+	}
+	return h, byPoint, st, nil
+}
+
+// Merge folds per-shard point maps into the experiment's table skeleton,
+// appending every point's rows in point order. Every point in [0, n) must
+// be present exactly once across the shards.
+func Merge(skeleton *stats.Table, n int, shards []map[int][][]string) (*stats.Table, error) {
+	merged := make(map[int][][]string, n)
+	for _, m := range shards {
+		for p, rows := range m {
+			if p < 0 || p >= n {
+				return nil, fmt.Errorf("sweep: merge: point %d outside grid of %d", p, n)
+			}
+			if _, dup := merged[p]; dup {
+				return nil, fmt.Errorf("sweep: merge: point %d delivered by two shards", p)
+			}
+			merged[p] = rows
+		}
+	}
+	if len(merged) != n {
+		return nil, fmt.Errorf("sweep: merge: %d of %d points delivered", len(merged), n)
+	}
+	for i := 0; i < n; i++ {
+		skeleton.AddRows(merged[i])
+	}
+	return skeleton, nil
+}

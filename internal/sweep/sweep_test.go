@@ -1,0 +1,228 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// TestMain doubles as the worker entry point for the subprocess re-exec
+// test: when SWEEP_WORKER_SHARD is set, the test binary behaves exactly
+// like `cmd/experiments -shard i/N -experiment ID` and exits. This keeps
+// the real spawn→parse→merge subprocess path under `go test` without
+// needing the cmd binaries built first.
+func TestMain(m *testing.M) {
+	if spec := os.Getenv("SWEEP_WORKER_SHARD"); spec != "" {
+		shard, shards, err := ParseShardSpec(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		e := harness.ByID(os.Getenv("SWEEP_WORKER_EXP"))
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", os.Getenv("SWEEP_WORKER_EXP"))
+			os.Exit(1)
+		}
+		if err := RunWorker(e, shard, shards, os.Getenv("SWEEP_WORKER_QUICK") == "1", os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestPointsAssignment(t *testing.T) {
+	cases := []struct {
+		shard, shards, total int
+		want                 []int
+	}{
+		{0, 1, 4, []int{0, 1, 2, 3}},
+		{0, 2, 5, []int{0, 2, 4}},
+		{1, 2, 5, []int{1, 3}},
+		{2, 3, 2, nil}, // more shards than points: trailing shard is empty
+		{1, 7, 2, []int{1}},
+	}
+	for _, c := range cases {
+		got := Points(c.shard, c.shards, c.total)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Points(%d,%d,%d) = %v, want %v", c.shard, c.shards, c.total, got, c.want)
+		}
+	}
+	// Every shard count must partition the grid exactly.
+	for shards := 1; shards <= 9; shards++ {
+		seen := map[int]bool{}
+		for s := 0; s < shards; s++ {
+			for _, p := range Points(s, shards, 7) {
+				if seen[p] {
+					t.Fatalf("shards=%d: point %d owned twice", shards, p)
+				}
+				seen[p] = true
+			}
+		}
+		if len(seen) != 7 {
+			t.Fatalf("shards=%d: %d of 7 points owned", shards, len(seen))
+		}
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	h := Header{Exp: "F1", Shard: 1, Shards: 3, Quick: true}
+	byPoint := map[int][][]string{
+		1: {{"1", "0.85", "rts/cts"}},
+		4: {{"10", "4.71", "basic"}, {"10", "4.40", "extra row"}},
+	}
+	st := ShardStats{Shard: 1, Points: 2, Rows: 3, WallNs: 123, Allocs: 45, Bytes: 678, Events: 90}
+	var buf bytes.Buffer
+	if err := WriteShard(&buf, h, byPoint, st); err != nil {
+		t.Fatal(err)
+	}
+	gotH, gotPts, gotSt, err := ParseShard(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	if gotH != h {
+		t.Errorf("header round-trip: %+v != %+v", gotH, h)
+	}
+	if !reflect.DeepEqual(gotPts, byPoint) {
+		t.Errorf("points round-trip:\n%v\n%v", gotPts, byPoint)
+	}
+	if gotSt != st {
+		t.Errorf("stats round-trip: %+v != %+v", gotSt, st)
+	}
+}
+
+func TestWireRejectsUnroundtrippableCells(t *testing.T) {
+	for _, cell := range []string{"a,b", "a\nb", "# looks like framing"} {
+		var buf bytes.Buffer
+		err := WriteShard(&buf, Header{Exp: "X"}, map[int][][]string{0: {{cell}}}, ShardStats{Points: 1, Rows: 1})
+		if err == nil {
+			t.Errorf("cell %q encoded without error", cell)
+		}
+	}
+}
+
+func TestParseShardRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	byPoint := map[int][][]string{0: {{"a"}}, 1: {{"b"}}}
+	if err := WriteShard(&buf, Header{Exp: "F1", Shards: 1}, byPoint, ShardStats{Points: 2, Rows: 2}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	if _, _, _, err := ParseShard(strings.NewReader(strings.TrimSuffix(full, "# end\n"))); err == nil {
+		t.Error("missing # end not detected")
+	}
+	cut := strings.Replace(full, "# point 1\nb\n", "", 1)
+	if _, _, _, err := ParseShard(strings.NewReader(cut)); err == nil {
+		t.Error("dropped point not detected against the stats trailer")
+	}
+}
+
+func TestMergeValidates(t *testing.T) {
+	mk := func() *stats.Table { return stats.NewTable("t", "c") }
+	if _, err := Merge(mk(), 2, []map[int][][]string{{0: {{"a"}}}}); err == nil {
+		t.Error("missing point accepted")
+	}
+	if _, err := Merge(mk(), 2, []map[int][][]string{{0: {{"a"}}}, {0: {{"a"}}, 1: {{"b"}}}}); err == nil {
+		t.Error("duplicate point accepted")
+	}
+	if _, err := Merge(mk(), 1, []map[int][][]string{{0: {{"a"}}, 1: {{"b"}}}}); err == nil {
+		t.Error("out-of-grid point accepted")
+	}
+	tb, err := Merge(mk(), 2, []map[int][][]string{{1: {{"b"}}}, {0: {{"a1"}, {"a2"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tb.Rows, [][]string{{"a1"}, {"a2"}, {"b"}}) {
+		t.Errorf("merged rows out of order: %v", tb.Rows)
+	}
+}
+
+// TestMergeDeterminism is the acceptance property of the whole engine:
+// shard-splitting any experiment's quick grid and merging the shard
+// outputs must reproduce the sequential table byte-for-byte — Render and
+// CSV alike — for the degenerate 1-shard split, an even split, and a
+// split with more shards than points.
+func TestMergeDeterminism(t *testing.T) {
+	for _, e := range harness.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			want := e.Run(true)
+			wantRender, wantCSV := want.Render(), want.CSV()
+			n := e.Grid(true).N
+			for _, shards := range []int{1, 2, n + 3} {
+				r := &Runner{Shards: shards, Quick: true}
+				res, err := r.Run(e)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got := res.Table.Render(); got != wantRender {
+					t.Errorf("shards=%d: merged Render differs from sequential:\n--- merged\n%s--- sequential\n%s",
+						shards, got, wantRender)
+				}
+				if got := res.Table.CSV(); got != wantCSV {
+					t.Errorf("shards=%d: merged CSV differs from sequential", shards)
+				}
+				if len(res.Shards) != shards {
+					t.Errorf("shards=%d: %d shard stats reported", shards, len(res.Shards))
+				}
+				var pts, rows int
+				for _, st := range res.Shards {
+					pts += st.Points
+					rows += st.Rows
+				}
+				if pts != n || rows != len(want.Rows) {
+					t.Errorf("shards=%d: stats roll-up %d points/%d rows, want %d/%d",
+						shards, pts, rows, n, len(want.Rows))
+				}
+			}
+		})
+	}
+}
+
+// TestSubprocessReExec drives the real multi-process path: the Runner
+// spawns this test binary as worker subprocesses (see TestMain) and the
+// merged result must still match the sequential run byte-for-byte.
+func TestSubprocessReExec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess re-exec is not -short")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawn := func(expID string, shard, shards int) ([]byte, error) {
+		cmd := exec.Command(bin)
+		cmd.Env = append(os.Environ(),
+			"SWEEP_WORKER_SHARD="+fmt.Sprintf("%d/%d", shard, shards),
+			"SWEEP_WORKER_EXP="+expID,
+			"SWEEP_WORKER_QUICK=1")
+		var out, errb bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &errb
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("worker: %v: %s", err, errb.String())
+		}
+		return out.Bytes(), nil
+	}
+	for _, id := range []string{"T1", "F3", "S1"} {
+		e := harness.ByID(id)
+		want := e.Run(true).Render()
+		r := &Runner{Shards: 2, Quick: true, Spawn: spawn}
+		res, err := r.Run(e)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if got := res.Table.Render(); got != want {
+			t.Errorf("%s: subprocess-merged table differs from sequential:\n--- merged\n%s--- sequential\n%s",
+				id, got, want)
+		}
+	}
+}
