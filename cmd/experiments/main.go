@@ -9,24 +9,38 @@
 //	experiments -csv            # machine-readable output
 //	experiments -list           # list IDs and titles
 //	experiments -shards 8       # fan each sweep out to 8 worker subprocesses
+//	experiments -agent :7101    # serve sweep chunks to a remote coordinator
+//	experiments -agents h1:7101,h2:7101   # dispatch across a cluster fleet
 //
 // With -shards N (N ≥ 2) the command becomes a sweep orchestrator: it
 // re-execs itself once per shard as `experiments -shard i/N -experiment F3
-// -csv`, each worker evaluates its slice of the scenario-point grid in its
-// own process (own Go runtime, own GC), and the parent merges the shard
-// output into tables byte-identical to the sequential run. -shards 1 (the
-// default) keeps everything in this process on the worker pool.
+// -points i,j,k -csv`, each worker evaluates its LPT-assigned slice of the
+// scenario-point grid in its own process (own Go runtime, own GC), and the
+// parent merges the shard output into tables byte-identical to the
+// sequential run. -shards 1 (the default) keeps everything in this process
+// on the worker pool.
 //
-// -shard i/N is the internal worker mode; it emits the internal/sweep wire
-// format on stdout and is not meant to be called by hand.
+// With -agents the command becomes a cluster coordinator: it connects to
+// the listed `experiments -agent :port` fleet (any reachable machines
+// running the same binary), adds an implicit local agent, and streams
+// chunks to whichever agent is free — costliest unfinished work first, with
+// heartbeat-based failure detection and re-dispatch (see
+// repro/internal/cluster). Output stays byte-identical to the sequential
+// run, even when agents die mid-sweep.
+//
+// -shard i/N (with -points) is the internal worker mode; it emits the
+// internal/sweep wire format on stdout and is not meant to be called by
+// hand.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/harness"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -40,12 +54,25 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		shards  = flag.Int("shards", 1, "fan each experiment out to N worker subprocesses (1 = in-process)")
 		shardAt = flag.String("shard", "", "worker mode: evaluate shard i/N of -experiment and emit the sweep wire format (internal)")
+		points  = flag.String("points", "", "worker mode: explicit point assignment i,j,k (internal; default round-robin from -shard)")
+		agent   = flag.String("agent", "", "agent mode: serve sweep chunks on this TCP address (e.g. :7101) until killed")
+		agents  = flag.String("agents", "", "coordinator mode: comma-separated agent addresses to dispatch sweeps across (an implicit local agent is always added)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range harness.All() {
 			fmt.Printf("%-4s %s\n     expect: %s\n", e.ID, e.Title, e.Expect)
+		}
+		return
+	}
+
+	if *agent != "" {
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "agent: "+format+"\n", args...)
+		}
+		if err := cluster.ListenAndServe(*agent, os.Stdout, logf); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -60,7 +87,16 @@ func main() {
 		if e == nil {
 			fatal(fmt.Errorf("experiments: -shard needs a valid -experiment (got %q; use -list)", *expID))
 		}
-		if err := sweep.RunWorker(e, shard, nShards, *quick, os.Stdout); err != nil {
+		if *points != "" {
+			pts, err := sweep.ParsePoints(*points)
+			if err != nil {
+				fatal(err)
+			}
+			err = sweep.RunWorkerPoints(e, shard, nShards, pts, *quick, os.Stdout)
+		} else {
+			err = sweep.RunWorker(e, shard, nShards, *quick, os.Stdout)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -75,8 +111,22 @@ func main() {
 		exps = []*harness.Experiment{e}
 	}
 
+	var coord *cluster.Coordinator
+	if *agents != "" {
+		if *shards > 1 {
+			fatal(fmt.Errorf("experiments: -shards and -agents are mutually exclusive (the cluster coordinator schedules per chunk; drop one of the flags)"))
+		}
+		coord = &cluster.Coordinator{
+			Agents: strings.Split(*agents, ","),
+			Quick:  *quick,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+	}
+
 	var runner *sweep.Runner
-	if *shards > 1 {
+	if coord == nil && *shards > 1 {
 		self, err := os.Executable()
 		if err != nil {
 			fatal(fmt.Errorf("experiments: cannot locate own binary for re-exec: %v", err))
@@ -92,13 +142,21 @@ func main() {
 		start := time.Now()
 		var table *stats.Table
 		var shardStats []sweep.ShardStats
-		if runner != nil {
+		var clusterRes *cluster.Result
+		switch {
+		case coord != nil:
+			res, err := coord.Run(e)
+			if err != nil {
+				fatal(err)
+			}
+			table, clusterRes = res.Table, res
+		case runner != nil:
 			res, err := runner.Run(e)
 			if err != nil {
 				fatal(err)
 			}
 			table, shardStats = res.Table, res.Shards
-		} else {
+		default:
 			// The in-process pool is the fast path for one process; it
 			// needs no wire round-trip, so table cells stay unrestricted.
 			table = e.Run(*quick)
@@ -110,6 +168,9 @@ func main() {
 			fmt.Printf("%s\nexpected shape: %s\n(wall time %v", table.Render(), e.Expect, elapsed)
 			if runner != nil {
 				fmt.Printf(" across %d shards; slowest shard %v", *shards, slowest(shardStats))
+			}
+			if clusterRes != nil {
+				fmt.Printf(" across %d agents%s", len(clusterRes.Agents), clusterSummary(clusterRes))
 			}
 			fmt.Printf(")\n\n")
 		}
@@ -125,6 +186,23 @@ func slowest(sts []sweep.ShardStats) time.Duration {
 		}
 	}
 	return time.Duration(max).Round(time.Millisecond)
+}
+
+// clusterSummary renders the per-agent point counts, e.g.
+// "; local=3 10.0.0.2:7101=6".
+func clusterSummary(res *cluster.Result) string {
+	var b strings.Builder
+	b.WriteString(";")
+	for _, a := range res.Agents {
+		fmt.Fprintf(&b, " %s=%d", a.Addr, a.Points)
+		if a.Failed {
+			b.WriteString("(failed)")
+		}
+	}
+	if res.Redispatched > 0 {
+		fmt.Fprintf(&b, "; %d point(s) re-dispatched", res.Redispatched)
+	}
+	return b.String()
 }
 
 func fatal(err error) {

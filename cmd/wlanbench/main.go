@@ -6,7 +6,8 @@
 // Usage:
 //
 //	wlanbench [-ids F1,F2] [-runs 3] [-full] [-workers N] [-shards N] \
-//	          [-baseline old.json] [-out BENCH_PR4.json]
+//	          [-clusteragents N | -agents h1:p,h2:p] \
+//	          [-baseline old.json] [-out BENCH_PR5.json]
 //
 // With -baseline, the report embeds the older report and per-experiment
 // speedup factors, which is how BENCH_PR1.json records the pre-PR seed
@@ -14,22 +15,35 @@
 //
 // With -shards N (N ≥ 2), every experiment is additionally measured
 // through the multi-process sweep engine (internal/sweep): the command
-// re-execs itself once per shard as `wlanbench -shard i/N -experiment F3`,
-// and each experiment's report entry gains a "sharded" section with the
-// orchestrated wall time and the per-shard timing/allocs roll-up. The
-// primary sequential numbers are unaffected, so allocs/op ceilings
-// (-failallocs) stay exact.
+// re-execs itself once per shard as `wlanbench -shard i/N -experiment F3
+// -points i,j,k`, and each experiment's report entry gains a "sharded"
+// section with the orchestrated wall time and the per-shard timing/allocs
+// roll-up. The primary sequential numbers are unaffected, so allocs/op
+// ceilings (-failallocs) stay exact.
+//
+// With -clusteragents N (or -agents with an explicit fleet), every
+// experiment is additionally measured through the cluster engine
+// (internal/cluster): -clusteragents spawns N loopback agent subprocesses
+// (`wlanbench -agent 127.0.0.1:0`), dispatches each sweep across them with
+// cost-weighted work stealing, and records a "cluster" section with the
+// orchestrated wall time and per-agent roll-up. The local in-process agent
+// is disabled for this measurement so the numbers reflect the agent fleet
+// alone — that is what makes the 1/2/4-agent scaling table in
+// PERFORMANCE.md comparable.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/sweep"
@@ -42,6 +56,16 @@ type ShardedResult struct {
 	NsPerOp      int64              `json:"ns_per_op"`
 	SpeedupVsSeq float64            `json:"speedup_vs_seq"`
 	PerShard     []sweep.ShardStats `json:"per_shard"`
+}
+
+// ClusterResult is one experiment's measurement through the cluster engine,
+// dispatched across an agent fleet with cost-weighted work stealing.
+type ClusterResult struct {
+	Agents       int                  `json:"agents"`
+	NsPerOp      int64                `json:"ns_per_op"`
+	SpeedupVsSeq float64              `json:"speedup_vs_seq"`
+	Redispatched int                  `json:"redispatched,omitempty"`
+	PerAgent     []cluster.AgentStats `json:"per_agent"`
 }
 
 // ExpResult is one experiment's measurement.
@@ -62,6 +86,8 @@ type ExpResult struct {
 	BaseAllocsPer uint64  `json:"baseline_allocs_per_op,omitempty"`
 	// Through the sweep engine, when -shards was supplied.
 	Sharded *ShardedResult `json:"sharded,omitempty"`
+	// Through the cluster engine, when -clusteragents/-agents was supplied.
+	Cluster *ClusterResult `json:"cluster,omitempty"`
 }
 
 // Report is the full JSON document.
@@ -71,6 +97,7 @@ type Report struct {
 	Workers     int         `json:"workers"`
 	Quick       bool        `json:"quick"`
 	Shards      int         `json:"shards,omitempty"`
+	Agents      int         `json:"agents,omitempty"`
 	Experiments []ExpResult `json:"experiments"`
 	Baseline    *Report     `json:"baseline,omitempty"`
 	Notes       []string    `json:"notes,omitempty"`
@@ -83,14 +110,27 @@ func main() {
 	workers := flag.Int("workers", 0, "harness worker pool size (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "also measure each experiment across N worker subprocesses (0 = skip)")
 	shardAt := flag.String("shard", "", "worker mode: evaluate shard i/N of -experiment and emit the sweep wire format (internal)")
+	points := flag.String("points", "", "worker mode: explicit point assignment i,j,k (internal; default round-robin from -shard)")
+	agentAddr := flag.String("agent", "", "agent mode: serve sweep chunks on this TCP address until killed")
+	agentList := flag.String("agents", "", "also measure each experiment across this comma-separated agent fleet")
+	clusterAgents := flag.Int("clusteragents", 0, "spawn N loopback agent subprocesses and measure each experiment across them (0 = skip)")
 	expID := flag.String("experiment", "", "experiment ID for -shard worker mode")
 	baseline := flag.String("baseline", "", "older report to embed and compare against")
-	out := flag.String("out", "BENCH_PR4.json", "output path (- for stdout)")
+	out := flag.String("out", "BENCH_PR5.json", "output path (- for stdout)")
 	note := flag.String("note", "", "free-form measurement note recorded in the report (';'-separated)")
 	failAllocs := flag.String("failallocs", "", "report whose per-experiment allocs/op are a hard ceiling: exit non-zero on any increase (allocs are deterministic, unlike wall times)")
 	flag.Parse()
 
 	harness.Workers = *workers
+
+	if *agentAddr != "" {
+		// Agent mode for the cluster measurement: same protocol as
+		// `experiments -agent`.
+		if err := cluster.ListenAndServe(*agentAddr, os.Stdout, nil); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *shardAt != "" {
 		// Worker mode for the sharded measurement: same protocol as
@@ -103,7 +143,16 @@ func main() {
 		if e == nil {
 			fatal(fmt.Errorf("wlanbench: -shard needs a valid -experiment (got %q)", *expID))
 		}
-		if err := sweep.RunWorker(e, shard, nShards, !*full, os.Stdout); err != nil {
+		if *points != "" {
+			pts, perr := sweep.ParsePoints(*points)
+			if perr != nil {
+				fatal(perr)
+			}
+			err = sweep.RunWorkerPoints(e, shard, nShards, pts, !*full, os.Stdout)
+		} else {
+			err = sweep.RunWorker(e, shard, nShards, !*full, os.Stdout)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -164,6 +213,40 @@ func main() {
 		}
 	}
 
+	fleet := strings.Split(*agentList, ",")
+	if *agentList == "" {
+		fleet = nil
+	}
+	if *clusterAgents > 0 {
+		self, err := os.Executable()
+		if err != nil {
+			fatal(fmt.Errorf("wlanbench: cannot locate own binary for agent spawn: %v", err))
+		}
+		for i := 0; i < *clusterAgents; i++ {
+			addr, err := spawnAgent(self, *workers)
+			if err != nil {
+				fatal(fmt.Errorf("wlanbench: spawn agent %d: %v", i, err))
+			}
+			fleet = append(fleet, addr)
+		}
+	}
+	var coord *cluster.Coordinator
+	if len(fleet) > 0 {
+		rep.Agents = len(fleet)
+		coord = &cluster.Coordinator{
+			Agents: fleet,
+			Quick:  !*full,
+			// Measure the agent fleet alone: with the implicit local agent
+			// enabled, the coordinator's own process would absorb part of
+			// the grid and the 1/2/4-agent scaling numbers would not be
+			// comparable.
+			DisableLocal: true,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+	}
+
 	allocsRegressed := false
 	for _, e := range exps {
 		r := measure(e, *runs, !*full)
@@ -173,6 +256,13 @@ func main() {
 				fatal(err)
 			}
 			r.Sharded = sh
+		}
+		if coord != nil {
+			cl, err := measureCluster(e, coord, r.NsPerOp)
+			if err != nil {
+				fatal(err)
+			}
+			r.Cluster = cl
 		}
 		if ceiling != nil {
 			matched := false
@@ -214,8 +304,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "   sharded(%d) %12d ns/op (%.2fx)",
 				r.Sharded.Shards, r.Sharded.NsPerOp, r.Sharded.SpeedupVsSeq)
 		}
+		if r.Cluster != nil {
+			fmt.Fprintf(os.Stderr, "   cluster(%d) %12d ns/op (%.2fx)",
+				r.Cluster.Agents, r.Cluster.NsPerOp, r.Cluster.SpeedupVsSeq)
+		}
 		fmt.Fprintln(os.Stderr)
 	}
+	stopAgents()
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -284,6 +379,68 @@ func measure(e *harness.Experiment, runs int, quick bool) ExpResult {
 	}
 }
 
+// agentProcs tracks the loopback agent subprocesses -clusteragents spawned
+// so every exit path can reap them.
+var agentProcs []*exec.Cmd
+
+// spawnAgent starts `self -agent 127.0.0.1:0 -workers N` and returns the
+// address the agent announced on its stdout.
+func spawnAgent(self string, workers int) (string, error) {
+	cmd := exec.Command(self, "-agent", "127.0.0.1:0", "-workers", fmt.Sprint(workers))
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", fmt.Errorf("agent announced nothing: %v", err)
+	}
+	var addr string
+	if _, err := fmt.Sscanf(line, "cluster agent listening %s", &addr); err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", fmt.Errorf("unexpected agent announcement %q", line)
+	}
+	agentProcs = append(agentProcs, cmd)
+	return addr, nil
+}
+
+// stopAgents reaps every spawned agent subprocess.
+func stopAgents() {
+	for _, cmd := range agentProcs {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	agentProcs = nil
+}
+
+// measureCluster runs e once through the cluster engine and rolls the
+// agents' self-reported timing/allocs into the result.
+func measureCluster(e *harness.Experiment, coord *cluster.Coordinator, seqNs int64) (*ClusterResult, error) {
+	t0 := time.Now()
+	res, err := coord.Run(e)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0)
+	cl := &ClusterResult{
+		Agents:       len(coord.Agents),
+		NsPerOp:      wall.Nanoseconds(),
+		Redispatched: res.Redispatched,
+		PerAgent:     res.Agents,
+	}
+	if seqNs > 0 {
+		cl.SpeedupVsSeq = round2(float64(seqNs) / float64(wall.Nanoseconds()))
+	}
+	return cl, nil
+}
+
 // measureSharded runs e once through the multi-process sweep engine and
 // rolls the workers' self-reported timing/allocs into the result. One
 // orchestrated run is enough: shard wall times are dominated by the
@@ -309,6 +466,7 @@ func measureSharded(e *harness.Experiment, runner *sweep.Runner, seqNs int64) (*
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
 
 func fatal(err error) {
+	stopAgents()
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

@@ -1,0 +1,221 @@
+// Package cluster scales the sweep engine past one machine: it splits sweep
+// execution into a control plane (the Coordinator, which owns scheduling,
+// fault handling and the merge) and a data plane of agents (remote
+// processes that evaluate grid points), connected by a line-oriented TCP
+// protocol layered on the internal/sweep shard wire format.
+//
+// # Wire protocol
+//
+// An agent serves any number of sequential requests per connection. Each
+// request is one line; each response ends with a terminator line, so both
+// sides can frame without byte counts:
+//
+//	→ # ping
+//	← # pong
+//
+//	→ # run v1 exp=F1 quick=true points=0,3,5
+//	← # sweep v1 exp=F1 shard=0/1 quick=true
+//	← # point 0
+//	← 1,0.85,0.80,0.84,0.79
+//	← ...
+//	← # stats points=3 rows=3 wall_ns=... allocs=... bytes=... events=...
+//	← # end
+//
+// The run response is exactly the sweep.WriteShard wire format (readable as
+// an artifact, guarded by the same loud round-trip checks), produced by
+// sweep.RunWorkerPoints for the explicit point list. A request the agent
+// cannot serve answers `# error: <reason>` instead of a shard. Point
+// evaluation is deterministic — a point's rows depend only on the
+// experiment, quick mode and point index — which is what lets the
+// coordinator re-dispatch work anywhere and still merge tables
+// byte-identical to the sequential run.
+//
+// # Exactly-once merge contract
+//
+// The coordinator guarantees each grid point lands in the merged table
+// exactly once, whatever fails in between:
+//
+//   - every chunk response is validated against the request (experiment,
+//     quick mode, and the exact point set) before any row is accepted;
+//   - a failed or dead agent's in-flight points are re-dispatched to
+//     surviving agents (ultimately the implicit local agent, so a sweep
+//     degrades to local execution rather than failing);
+//   - results are deduplicated by point index — the first valid result for
+//     a point wins and later duplicates from re-dispatch races are
+//     discarded; both results are byte-identical by determinism, so
+//     "first wins" is not a race on content;
+//   - the final merge (sweep.Merge) independently re-verifies that every
+//     point in [0, N) is present exactly once.
+//
+// Agents are trusted, version-matched binaries (the same experiment
+// registry must be compiled in); the validation above is a seatbelt against
+// skew and transport truncation, not a security boundary.
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/harness"
+	"repro/internal/sweep"
+)
+
+// Protocol literals shared by agent and coordinator.
+const (
+	pingLine  = "# ping"
+	pongLine  = "# pong"
+	endLine   = "# end"
+	errPrefix = "# error: "
+	runPrefix = "# run v1 "
+)
+
+// Agent serves sweep chunks over TCP. The zero value is ready to use;
+// Logf, when set, receives one line per served request.
+type Agent struct {
+	// Logf logs request-level activity (nil silences it).
+	Logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	lns   []net.Listener
+	conns map[net.Conn]bool
+	done  bool
+}
+
+// Serve accepts connections on ln until the listener is closed (see Close).
+// It is safe to call concurrently on multiple listeners.
+func (a *Agent) Serve(ln net.Listener) error {
+	a.track(ln)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			a.mu.Lock()
+			done := a.done
+			a.mu.Unlock()
+			if done {
+				return nil
+			}
+			return err
+		}
+		a.mu.Lock()
+		if a.conns == nil {
+			a.conns = make(map[net.Conn]bool)
+		}
+		a.conns[conn] = true
+		a.mu.Unlock()
+		go a.serveConn(conn)
+	}
+}
+
+func (a *Agent) track(ln net.Listener) {
+	a.mu.Lock()
+	a.lns = append(a.lns, ln)
+	a.mu.Unlock()
+}
+
+// Close stops the agent: listeners stop accepting and open connections are
+// torn down.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	a.done = true
+	lns, conns := a.lns, a.conns
+	a.lns, a.conns = nil, nil
+	a.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for c := range conns {
+		c.Close()
+	}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+// serveConn answers pings and run requests until the peer hangs up.
+func (a *Agent) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		a.mu.Lock()
+		delete(a.conns, conn)
+		a.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimSuffix(line, "\n")
+		switch {
+		case line == pingLine:
+			fmt.Fprintln(bw, pongLine)
+		case strings.HasPrefix(line, runPrefix):
+			a.serveRun(bw, line)
+		default:
+			fmt.Fprintf(bw, "%sunknown request %q\n", errPrefix, line)
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serveRun evaluates one chunk request and writes the shard wire format (or
+// an error line) to w.
+func (a *Agent) serveRun(w io.Writer, line string) {
+	expID, quick, pts, err := parseRunRequest(line)
+	if err != nil {
+		fmt.Fprintf(w, "%s%v\n", errPrefix, err)
+		return
+	}
+	e := harness.ByID(expID)
+	if e == nil {
+		fmt.Fprintf(w, "%sunknown experiment %q\n", errPrefix, expID)
+		return
+	}
+	a.logf("run %s quick=%t points=%s", expID, quick, sweep.FormatPoints(pts))
+	if err := sweep.RunWorkerPoints(e, 0, 1, pts, quick, w); err != nil {
+		// The shard output may already be partially written; the error line
+		// makes the response unparseable on purpose, so the coordinator
+		// discards the chunk instead of merging a truncated shard.
+		fmt.Fprintf(w, "%s%v\n", errPrefix, err)
+	}
+}
+
+// formatRunRequest builds the request line serveRun parses.
+func formatRunRequest(expID string, quick bool, pts []int) string {
+	return fmt.Sprintf("%sexp=%s quick=%t points=%s", runPrefix, expID, quick, sweep.FormatPoints(pts))
+}
+
+func parseRunRequest(line string) (expID string, quick bool, pts []int, err error) {
+	var ptSpec string
+	if _, err = fmt.Sscanf(line, runPrefix+"exp=%s quick=%t points=%s", &expID, &quick, &ptSpec); err != nil {
+		return "", false, nil, fmt.Errorf("bad run request %q: %v", line, err)
+	}
+	if pts, err = sweep.ParsePoints(ptSpec); err != nil {
+		return "", false, nil, err
+	}
+	return expID, quick, pts, nil
+}
+
+// ListenAndServe starts an agent on addr (":0" picks a free port) and
+// announces the bound address on w as "cluster agent listening <addr>" —
+// the line orchestrators that spawn agent subprocesses scan for. It serves
+// until the process exits.
+func ListenAndServe(addr string, w io.Writer, logf func(string, ...any)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cluster agent listening %s\n", ln.Addr())
+	a := &Agent{Logf: logf}
+	return a.Serve(ln)
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// LocalAgentName labels the coordinator's implicit in-process agent in
+// per-agent stats.
+const LocalAgentName = "local"
+
+// AgentStats is one agent's contribution to a sweep, rolled up from the
+// per-chunk shard trailers its worker self-measured.
+type AgentStats struct {
+	Addr   string `json:"addr"`
+	Chunks int    `json:"chunks"`
+	Points int    `json:"points"`
+	Rows   int    `json:"rows"`
+	WallNs int64  `json:"wall_ns"`
+	Allocs uint64 `json:"allocs"`
+	Bytes  uint64 `json:"bytes"`
+	Events uint64 `json:"events"`
+	// Failed marks an agent that died mid-sweep (its completed chunks still
+	// count above; its in-flight points were re-dispatched).
+	Failed bool `json:"failed,omitempty"`
+}
+
+// Result is one experiment's merged cluster sweep.
+type Result struct {
+	Table  *stats.Table
+	Agents []AgentStats
+	// Redispatched counts points that had to be returned to the pool after
+	// an agent failure (0 on a healthy sweep).
+	Redispatched int
+}
+
+// Coordinator fans a sweep out to a fleet of agents with cost-weighted
+// work stealing: agents pull the costliest unfinished chunk next, so fast
+// nodes naturally absorb more of a skewed grid and a slow or dead node
+// never straggles the sweep. See the package documentation for the fault
+// tolerance and exactly-once merge contract.
+type Coordinator struct {
+	// Agents lists remote agent addresses (host:port).
+	Agents []string
+	// Quick selects the quick-mode grid.
+	Quick bool
+	// DisableLocal drops the implicit local agent. The default (false)
+	// keeps it: the coordinator's own process evaluates chunks alongside
+	// the remotes, and — because it cannot die — guarantees a sweep
+	// degrades to plain local execution when every remote fails.
+	DisableLocal bool
+	// ChunkPoints is the number of points an agent pulls per request
+	// (default 1: finest-grained stealing and re-dispatch).
+	ChunkPoints int
+	// HeartbeatEvery / HeartbeatTimeout tune dead-agent detection
+	// (defaults 200ms / 2s). A missed heartbeat kills the agent's work
+	// connection, which requeues its in-flight chunk.
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	// DialTimeout bounds the initial connection attempts (default 5s).
+	DialTimeout time.Duration
+	// Logf reports agent failures and re-dispatches (nil silences).
+	Logf func(format string, args ...any)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) chunkPoints() int {
+	if c.ChunkPoints < 1 {
+		return 1
+	}
+	return c.ChunkPoints
+}
+
+func (c *Coordinator) heartbeatEvery() time.Duration {
+	if c.HeartbeatEvery <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.HeartbeatEvery
+}
+
+func (c *Coordinator) heartbeatTimeout() time.Duration {
+	if c.HeartbeatTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.HeartbeatTimeout
+}
+
+func (c *Coordinator) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.DialTimeout
+}
+
+// Run executes the experiment's grid across the fleet and merges the
+// results into a table byte-identical to e.Run(quick).
+func (c *Coordinator) Run(e *harness.Experiment) (*Result, error) {
+	if c.DisableLocal && len(c.Agents) == 0 {
+		return nil, fmt.Errorf("cluster: no agents and the local agent is disabled")
+	}
+	g := e.Grid(c.Quick)
+	workers := len(c.Agents)
+	if !c.DisableLocal {
+		workers++
+	}
+	s := newScheduler(g.Costs(), workers)
+
+	res := &Result{Agents: make([]AgentStats, 0, workers)}
+	var (
+		mu sync.Mutex // guards res roll-up fields
+		wg sync.WaitGroup
+	)
+	record := func(st AgentStats, redispatched int) {
+		mu.Lock()
+		res.Agents = append(res.Agents, st)
+		res.Redispatched += redispatched
+		mu.Unlock()
+	}
+
+	if !c.DisableLocal {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			record(c.runLocal(e, s), 0)
+		}()
+	}
+	for _, addr := range c.Agents {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			st, redispatched := c.runRemote(e, s, addr)
+			record(st, redispatched)
+		}(addr)
+	}
+	wg.Wait()
+
+	byPoint, err := s.result()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", e.ID, err)
+	}
+	table, err := sweep.Merge(g.Table, g.N, []map[int][][]string{byPoint})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", e.ID, err)
+	}
+	sort.Slice(res.Agents, func(i, j int) bool { return res.Agents[i].Addr < res.Agents[j].Addr })
+	res.Table = table
+	return res, nil
+}
+
+// runLocal is the implicit local agent: chunks are evaluated in-process
+// through the exact same RunWorkerPoints → wire → parse path as a remote,
+// so the round-trip guards cover local execution identically. A local
+// failure is fatal (it is deterministic — no agent could succeed).
+func (c *Coordinator) runLocal(e *harness.Experiment, s *scheduler) AgentStats {
+	st := AgentStats{Addr: LocalAgentName}
+	for {
+		pts := s.take(c.chunkPoints())
+		if pts == nil {
+			return st
+		}
+		var buf bytes.Buffer
+		if err := sweep.RunWorkerPoints(e, 0, 1, pts, c.Quick, &buf); err != nil {
+			s.fail(fmt.Errorf("local agent: %w", err))
+			return st
+		}
+		if err := c.acceptChunk(e, s, &st, pts, buf.Bytes()); err != nil {
+			s.fail(fmt.Errorf("local agent: %w", err))
+			return st
+		}
+	}
+}
+
+// runRemote drives one remote agent until the sweep completes or the agent
+// fails; on failure its unfinished points return to the pool.
+func (c *Coordinator) runRemote(e *harness.Experiment, s *scheduler, addr string) (AgentStats, int) {
+	st := AgentStats{Addr: addr}
+	fail := func(pts []int, err error) (AgentStats, int) {
+		st.Failed = true
+		n := s.requeue(pts)
+		s.workerGone()
+		c.logf("cluster: agent %s failed (%v); %d in-flight point(s) re-dispatched", addr, err, n)
+		return st, n
+	}
+
+	work, err := net.DialTimeout("tcp", addr, c.dialTimeout())
+	if err != nil {
+		return fail(nil, err)
+	}
+	defer work.Close()
+
+	// Liveness runs on a second connection so a long-running chunk cannot
+	// be mistaken for a dead agent: the agent answers pings from a separate
+	// handler while the work connection is busy computing. When the process
+	// dies both connections die; the heartbeat notices within its timeout
+	// and closes the work connection, failing the blocked read below.
+	stopHB, hbErr := c.startHeartbeat(addr, work)
+	if hbErr != nil {
+		return fail(nil, hbErr)
+	}
+	defer stopHB()
+
+	br := bufio.NewReader(work)
+	for {
+		pts := s.take(c.chunkPoints())
+		if pts == nil {
+			return st, 0
+		}
+		if _, err := fmt.Fprintln(work, formatRunRequest(e.ID, c.Quick, pts)); err != nil {
+			return fail(pts, err)
+		}
+		raw, err := readResponse(br)
+		if err != nil {
+			return fail(pts, err)
+		}
+		if err := c.acceptChunk(e, s, &st, pts, raw); err != nil {
+			return fail(pts, err)
+		}
+	}
+}
+
+// acceptChunk validates one chunk response against its request and delivers
+// the rows: the response must parse, answer for the right experiment and
+// quick mode, and cover exactly the requested point set.
+func (c *Coordinator) acceptChunk(e *harness.Experiment, s *scheduler, st *AgentStats, pts []int, raw []byte) error {
+	h, byPoint, chunkStats, err := sweep.ParseShard(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	if h.Exp != e.ID || h.Quick != c.Quick {
+		return fmt.Errorf("agent answered for exp=%s quick=%t, want exp=%s quick=%t", h.Exp, h.Quick, e.ID, c.Quick)
+	}
+	if len(byPoint) != len(pts) {
+		return fmt.Errorf("agent returned %d points, requested %d", len(byPoint), len(pts))
+	}
+	for _, p := range pts {
+		if _, ok := byPoint[p]; !ok {
+			return fmt.Errorf("agent response missing requested point %d", p)
+		}
+	}
+	s.deliver(byPoint)
+	st.Chunks++
+	st.Points += chunkStats.Points
+	st.Rows += chunkStats.Rows
+	st.WallNs += chunkStats.WallNs
+	st.Allocs += chunkStats.Allocs
+	st.Bytes += chunkStats.Bytes
+	st.Events += chunkStats.Events
+	return nil
+}
+
+// startHeartbeat dials the agent's control connection and pings it until
+// stopped. On a missed or late pong it closes work, which unblocks the work
+// loop's pending read with an error and triggers re-dispatch.
+func (c *Coordinator) startHeartbeat(addr string, work net.Conn) (stop func(), err error) {
+	hb, err := net.DialTimeout("tcp", addr, c.dialTimeout())
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			close(done)
+			hb.Close()
+		})
+	}
+	go func() {
+		br := bufio.NewReader(hb)
+		ticker := time.NewTicker(c.heartbeatEvery())
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			hb.SetDeadline(time.Now().Add(c.heartbeatTimeout()))
+			if _, err := fmt.Fprintln(hb, pingLine); err != nil {
+				work.Close()
+				return
+			}
+			line, err := br.ReadString('\n')
+			if err != nil || strings.TrimSuffix(line, "\n") != pongLine {
+				work.Close()
+				return
+			}
+		}
+	}()
+	return stop, nil
+}
+
+// readResponse reads one framed response off the work connection: every
+// line up to and including the "# end" terminator. A "# error:" line from
+// the agent (or a closed connection before the terminator) fails the chunk.
+func readResponse(br *bufio.Reader) ([]byte, error) {
+	var buf bytes.Buffer
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("connection lost mid-response: %w", err)
+		}
+		trimmed := strings.TrimSuffix(line, "\n")
+		if strings.HasPrefix(trimmed, errPrefix) {
+			return nil, fmt.Errorf("agent error: %s", strings.TrimPrefix(trimmed, errPrefix))
+		}
+		buf.WriteString(line)
+		if trimmed == endLine {
+			return buf.Bytes(), nil
+		}
+	}
+}

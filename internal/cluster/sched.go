@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// scheduler is the coordinator's work-stealing core: a cost-ordered pool of
+// unfinished grid points that agents pull chunks from, with exactly-once
+// delivery accounting. All methods are safe for concurrent use.
+//
+// Invariants (pinned by the scheduler property tests):
+//   - a point is pending, in flight, or delivered — never two at once;
+//   - deliver records the first result for a point and discards any later
+//     duplicate, so a re-dispatched point merges exactly once;
+//   - requeue returns only undelivered points to the pool, so a chunk that
+//     partially raced a re-dispatch cannot resurrect finished work.
+type scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	costs     []float64
+	pending   []int // cost-descending; take pops from the front
+	inflight  map[int]bool
+	delivered map[int][][]string
+
+	total   int
+	workers int // live workers; take fails when none remain and work does
+	err     error
+}
+
+func newScheduler(costs []float64, workers int) *scheduler {
+	s := &scheduler{
+		costs:     costs,
+		inflight:  make(map[int]bool),
+		delivered: make(map[int][][]string, len(costs)),
+		total:     len(costs),
+		workers:   workers,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	// Seed the pool cost-descending (stable on index for determinism).
+	for p := range costs {
+		s.insertLocked(p)
+	}
+	return s
+}
+
+// insertLocked places p into pending keeping cost-descending order, ties on
+// ascending index.
+func (s *scheduler) insertLocked(p int) {
+	i := 0
+	for ; i < len(s.pending); i++ {
+		q := s.pending[i]
+		if s.costs[p] > s.costs[q] || (s.costs[p] == s.costs[q] && p < q) {
+			break
+		}
+	}
+	s.pending = append(s.pending, 0)
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = p
+}
+
+// take blocks until work is available and returns up to max of the
+// costliest pending points, marking them in flight. It returns nil when the
+// sweep is complete or has failed — callers must then exit their loop.
+func (s *scheduler) take(max int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil || len(s.delivered) == s.total {
+			return nil
+		}
+		if len(s.pending) > 0 {
+			break
+		}
+		if s.workers == 0 {
+			// Every worker is gone, nothing is pending, and the sweep is
+			// not complete: the in-flight points of the last dead worker
+			// were requeued before it decremented, so this means no worker
+			// remains to run them.
+			s.err = fmt.Errorf("cluster: all agents failed with %d of %d points unfinished",
+				s.total-len(s.delivered), s.total)
+			s.cond.Broadcast()
+			return nil
+		}
+		s.cond.Wait()
+	}
+	if max < 1 {
+		max = 1
+	}
+	if max > len(s.pending) {
+		max = len(s.pending)
+	}
+	pts := make([]int, max)
+	copy(pts, s.pending[:max])
+	s.pending = s.pending[:copy(s.pending, s.pending[max:])]
+	for _, p := range pts {
+		s.inflight[p] = true
+	}
+	return pts
+}
+
+// deliver records a chunk's results. Points already delivered (a completed
+// re-dispatch race) are discarded; the return value counts the points this
+// call newly completed.
+func (s *scheduler) deliver(byPoint map[int][][]string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fresh := 0
+	for p, rows := range byPoint {
+		delete(s.inflight, p)
+		if _, dup := s.delivered[p]; dup {
+			continue
+		}
+		s.delivered[p] = rows
+		fresh++
+	}
+	s.cond.Broadcast()
+	return fresh
+}
+
+// requeue returns a failed chunk's undelivered points to the pool. The
+// count of points actually requeued is returned (delivered ones stay done).
+func (s *scheduler) requeue(pts []int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range pts {
+		delete(s.inflight, p)
+		if _, done := s.delivered[p]; done {
+			continue
+		}
+		s.insertLocked(p)
+		n++
+	}
+	s.cond.Broadcast()
+	return n
+}
+
+// workerGone records a worker's permanent exit after a failure.
+func (s *scheduler) workerGone() {
+	s.mu.Lock()
+	s.workers--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// fail aborts the sweep with a fatal error (first error wins).
+func (s *scheduler) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// result returns the delivered point map and the sweep error, if any.
+func (s *scheduler) result() (map[int][][]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return nil, s.err
+	}
+	if len(s.delivered) != s.total {
+		return nil, fmt.Errorf("cluster: %d of %d points delivered", len(s.delivered), s.total)
+	}
+	return s.delivered, nil
+}

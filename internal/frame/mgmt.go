@@ -24,10 +24,17 @@ type IE struct {
 func MarshalIEs(ies []IE) []byte {
 	var out []byte
 	for _, ie := range ies {
-		out = append(out, ie.ID, byte(len(ie.Data)))
-		out = append(out, ie.Data...)
+		out = AppendIE(out, ie.ID, ie.Data)
 	}
 	return out
+}
+
+// AppendIE appends one information element to dst and returns the extended
+// slice. It is the allocation-free building block the append-style
+// marshalling paths (AppendBeacon) are made of.
+func AppendIE(dst []byte, id uint8, data []byte) []byte {
+	dst = append(dst, id, byte(len(data)))
+	return append(dst, data...)
 }
 
 // ForEachIE walks the information elements of b in order without copying:
@@ -120,8 +127,11 @@ type TIM struct {
 	AIDs []uint16
 }
 
-func (t *TIM) marshal() []byte {
-	// Build the partial virtual bitmap.
+func (t *TIM) marshal() []byte { return t.appendBody(nil) }
+
+// appendBody appends the TIM element body (count, period, bitmap control,
+// partial virtual bitmap) to dst without intermediate buffers.
+func (t *TIM) appendBody(dst []byte) []byte {
 	maxAID := uint16(0)
 	for _, a := range t.AIDs {
 		if a > maxAID {
@@ -129,36 +139,49 @@ func (t *TIM) marshal() []byte {
 		}
 	}
 	nBytes := int(maxAID)/8 + 1
-	bitmap := make([]byte, nBytes)
-	for _, a := range t.AIDs {
-		bitmap[a/8] |= 1 << (a % 8)
-	}
 	ctl := byte(0)
 	if t.Multicast {
 		ctl |= 0x01
 	}
-	out := []byte{t.DTIMCount, t.DTIMPeriod, ctl}
-	return append(out, bitmap...)
+	dst = append(dst, t.DTIMCount, t.DTIMPeriod, ctl)
+	start := len(dst)
+	for i := 0; i < nBytes; i++ {
+		dst = append(dst, 0)
+	}
+	for _, a := range t.AIDs {
+		dst[start+int(a)/8] |= 1 << (a % 8)
+	}
+	return dst
 }
 
 func parseTIM(b []byte) (*TIM, error) {
+	t := &TIM{}
+	if err := ParseTIMInto(t, b); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseTIMInto decodes a TIM element body into t, reusing t.AIDs' backing
+// storage — the allocation-free counterpart of the TIM parse inside
+// ParseBeacon, used by receivers that keep a TIM scratch (the station's
+// beacon hot path).
+func ParseTIMInto(t *TIM, b []byte) error {
 	if len(b) < 4 {
-		return nil, errors.New("frame: TIM too short")
+		return errors.New("frame: TIM too short")
 	}
-	t := &TIM{
-		DTIMCount:  b[0],
-		DTIMPeriod: b[1],
-		Multicast:  b[2]&0x01 != 0,
-	}
-	bitmap := b[3:]
-	for i, by := range bitmap {
+	t.DTIMCount = b[0]
+	t.DTIMPeriod = b[1]
+	t.Multicast = b[2]&0x01 != 0
+	t.AIDs = t.AIDs[:0]
+	for i, by := range b[3:] {
 		for bit := 0; bit < 8; bit++ {
 			if by&(1<<bit) != 0 {
 				t.AIDs = append(t.AIDs, uint16(i*8+bit))
 			}
 		}
 	}
-	return t, nil
+	return nil
 }
 
 // HasAID reports whether the TIM announces buffered traffic for aid.
@@ -175,20 +198,36 @@ func (t *TIM) HasAID(aid uint16) bool {
 }
 
 // MarshalBeacon builds a beacon/probe-response body.
-func MarshalBeacon(b *Beacon) []byte {
-	out := make([]byte, 12)
-	binary.LittleEndian.PutUint64(out[0:8], b.Timestamp)
-	binary.LittleEndian.PutUint16(out[8:10], b.IntervalTU)
-	binary.LittleEndian.PutUint16(out[10:12], b.Capability)
-	ies := []IE{
-		{ID: IESSID, Data: []byte(b.SSID)},
-		{ID: IESupportedRates, Data: b.Rates},
-		{ID: IEDSParam, Data: []byte{b.Channel}},
-	}
+func MarshalBeacon(b *Beacon) []byte { return AppendBeacon(nil, b) }
+
+// AppendBeacon appends a beacon/probe-response body to dst and returns the
+// extended slice, byte-identical to MarshalBeacon but with zero
+// intermediate allocations — appending into a buffer with capacity (the
+// AP's pooled TX body) marshals the whole beacon without touching the
+// heap, which is what keeps an idle BSS allocation-free.
+func AppendBeacon(dst []byte, b *Beacon) []byte {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], b.Timestamp)
+	binary.LittleEndian.PutUint16(hdr[8:10], b.IntervalTU)
+	binary.LittleEndian.PutUint16(hdr[10:12], b.Capability)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, IESSID, byte(len(b.SSID)))
+	dst = append(dst, b.SSID...)
+	dst = AppendIE(dst, IESupportedRates, b.Rates)
+	dst = append(dst, IEDSParam, 1, b.Channel)
 	if b.TIM != nil {
-		ies = append(ies, IE{ID: IETIM, Data: b.TIM.marshal()})
+		// The element length is the fixed TIM header plus the bitmap, whose
+		// size only depends on the highest buffered AID.
+		maxAID := uint16(0)
+		for _, a := range b.TIM.AIDs {
+			if a > maxAID {
+				maxAID = a
+			}
+		}
+		dst = append(dst, IETIM, byte(3+int(maxAID)/8+1))
+		dst = b.TIM.appendBody(dst)
 	}
-	return append(out, MarshalIEs(ies)...)
+	return dst
 }
 
 // ParseBeacon parses a beacon/probe-response body.

@@ -75,7 +75,11 @@ func gridF1(quick bool) *Grid {
 	ns := pick(quick, []int{1, 5, 10}, []int{1, 2, 5, 10, 15, 20, 30, 40, 50})
 	dur := runDur(quick, 1500*sim.Millisecond, 5*sim.Second)
 	const payload = 1500
-	return &Grid{Table: t, N: len(ns), Point: single(func(i int) []string {
+	// The grid is heavily skewed: a 50-station point simulates an order of
+	// magnitude more events than a 1-station point, so schedulers need the
+	// hint to balance shards by work rather than point count.
+	cost := func(i int) float64 { return CostByNodes(dur, ns[i]) }
+	return &Grid{Table: t, N: len(ns), Cost: cost, Point: single(func(i int) []string {
 		n := ns[i]
 		basicNet, _, basicFlows := star(core.Config{Seed: uint64(100 + n)}, n, payload)
 		basicNet.Run(dur)
@@ -160,7 +164,8 @@ func gridF6(quick bool) *Grid {
 		"n", "jain index", "min/max ratio", "agg Mbit/s")
 	ns := pick(quick, []int{2, 10}, []int{2, 5, 10, 20, 35})
 	dur := runDur(quick, 2*sim.Second, 5*sim.Second)
-	return &Grid{Table: t, N: len(ns), Point: single(func(i int) []string {
+	cost := func(i int) float64 { return CostByNodes(dur, ns[i]) }
+	return &Grid{Table: t, N: len(ns), Cost: cost, Point: single(func(i int) []string {
 		n := ns[i]
 		net, _, flows := star(core.Config{Seed: uint64(600 + n)}, n, 1000)
 		net.Run(dur)

@@ -57,6 +57,42 @@ type Grid struct {
 	Table *stats.Table
 	N     int
 	Point func(i int) [][]string
+	// Cost optionally returns a relative cost hint for point i — how
+	// expensive evaluating the point is compared to its siblings. The
+	// canonical derivation is simulated duration × node count (the two
+	// factors event volume scales with); experiments with skewed grids
+	// override it so the sweep schedulers (internal/sweep LPT binning,
+	// internal/cluster work stealing) can balance work instead of counts.
+	// Nil (or a non-positive return) means uniform cost 1.
+	Cost func(i int) float64
+}
+
+// PointCost returns the scheduling cost hint for point i: Cost(i) when the
+// grid provides one and it is positive, else 1. Costs are relative weights,
+// not wall-time predictions; only their ratios matter.
+func (g *Grid) PointCost(i int) float64 {
+	if g.Cost != nil {
+		if c := g.Cost(i); c > 0 {
+			return c
+		}
+	}
+	return 1
+}
+
+// Costs materialises the per-point cost hints for all N points.
+func (g *Grid) Costs() []float64 {
+	out := make([]float64, g.N)
+	for i := range out {
+		out[i] = g.PointCost(i)
+	}
+	return out
+}
+
+// CostByNodes is the canonical cost-hint derivation for grids whose points
+// differ in station count: simulated duration × (nodes+1), the +1 counting
+// the sink/AP every scenario carries.
+func CostByNodes(dur sim.Duration, nodes int) float64 {
+	return float64(dur) * float64(nodes+1)
 }
 
 // single adapts the common one-row-per-point shape to Grid.Point.

@@ -111,6 +111,12 @@ type AP struct {
 	// scratch. Both make steady-state bridging allocation-free.
 	tx      *txPool
 	wepOpen []byte
+	// rates is the supported-rates IE, fixed at construction (the mode
+	// never changes); beaconTIM is the reusable TIM scratch. Together with
+	// AppendBeacon into a pooled TX body they make beaconing — the one
+	// thing an idle BSS does — allocation-free.
+	rates     []byte
+	beaconTIM frame.TIM
 
 	// OnDeliver receives payloads addressed to the AP itself (or group).
 	OnDeliver DeliveryFunc
@@ -142,6 +148,7 @@ func NewAP(k *sim.Kernel, dcf *mac.DCF, cfg APConfig) *AP {
 		tx:       newTxPool(dcf.QueueCap()),
 		Tracer:   trace.Nop{},
 	}
+	ap.rates = ap.rateIE()
 	dcf.SetReceiver(ap.receive)
 	// Stagger the beacon phase per BSSID: co-located APs with synchronized
 	// tickers would collide their beacons every interval, which real APs
@@ -210,16 +217,21 @@ func (ap *AP) open(body []byte) ([]byte, error) {
 	return plain, nil
 }
 
-// sendBeacon enqueues the periodic beacon with the current TIM.
+// sendBeacon enqueues the periodic beacon with the current TIM. The frame
+// and body come from the AP's transmit pool and the body is built with
+// AppendBeacon into the reused buffer, so an idle BSS beacons forever
+// without allocating; the slot commits only when the MAC accepts the
+// frame, per the txPool ownership protocol.
 func (ap *AP) sendBeacon() {
 	ap.dtimCount--
 	if ap.dtimCount < 0 {
 		ap.dtimCount = ap.cfg.DTIMPeriod - 1
 	}
-	tim := &frame.TIM{
-		DTIMCount:  uint8(ap.dtimCount),
-		DTIMPeriod: uint8(ap.cfg.DTIMPeriod),
-	}
+	tim := &ap.beaconTIM
+	tim.DTIMCount = uint8(ap.dtimCount)
+	tim.DTIMPeriod = uint8(ap.cfg.DTIMPeriod)
+	tim.Multicast = false
+	tim.AIDs = tim.AIDs[:0]
 	for _, e := range ap.stations {
 		if e.assoc && e.ps && len(e.psBuf) > 0 {
 			tim.AIDs = append(tim.AIDs, e.aid)
@@ -229,17 +241,24 @@ func (ap *AP) sendBeacon() {
 	if ap.privacy() {
 		cap |= frame.CapPrivacy
 	}
-	b := &frame.Beacon{
+	b := frame.Beacon{
 		Timestamp:  uint64(ap.k.Now() / 1000),
 		IntervalTU: uint16(ap.cfg.BeaconInterval / TU),
 		Capability: cap,
 		SSID:       ap.ssid,
-		Rates:      ap.rateIE(),
+		Rates:      ap.rates,
 		Channel:    uint8(ap.channel()),
 		TIM:        tim,
 	}
-	f := frame.NewMgmt(frame.SubtypeBeacon, frame.Broadcast, ap.BSSID(), ap.BSSID(), frame.MarshalBeacon(b))
-	if ap.dcf.Enqueue(f) {
+	slot := ap.tx.slot()
+	slot.body = frame.AppendBeacon(slot.body[:0], &b)
+	slot.f = frame.Frame{
+		Type: frame.TypeManagement, Subtype: frame.SubtypeBeacon,
+		Addr1: frame.Broadcast, Addr2: ap.BSSID(), Addr3: ap.BSSID(),
+		Body: slot.body,
+	}
+	if ap.dcf.Enqueue(&slot.f) {
+		ap.tx.commit()
 		ap.Stats.BeaconsSent++
 	}
 }
@@ -357,7 +376,7 @@ func (ap *AP) handleProbe(f *frame.Frame) {
 		IntervalTU: uint16(ap.cfg.BeaconInterval / TU),
 		Capability: capBits,
 		SSID:       ap.ssid,
-		Rates:      ap.rateIE(),
+		Rates:      ap.rates,
 		Channel:    uint8(ap.channel()),
 	}
 	out := frame.NewMgmt(frame.SubtypeProbeResp, f.Addr2, ap.BSSID(), ap.BSSID(), frame.MarshalBeacon(resp))
@@ -463,7 +482,7 @@ func (ap *AP) handleAssoc(f *frame.Frame) {
 	}
 	resp := frame.NewMgmt(frame.SubtypeAssocResp, f.Addr2, ap.BSSID(), ap.BSSID(),
 		frame.MarshalAssocResp(&frame.AssocResp{
-			Capability: frame.CapESS, Status: status, AID: e.aid, Rates: ap.rateIE(),
+			Capability: frame.CapESS, Status: status, AID: e.aid, Rates: ap.rates,
 		}))
 	ap.dcf.Enqueue(resp)
 	ap.Tracer.Trace(trace.Event{At: ap.k.Now(), Node: ap.ssid, Kind: trace.KindMgmt,

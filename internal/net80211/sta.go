@@ -1,6 +1,7 @@
 package net80211
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/frame"
@@ -128,6 +129,9 @@ type STA struct {
 	// must not doze between PS-Poll and the buffered frame's arrival.
 	psAwaitSeq  uint64
 	psAwaitData bool
+	// timScratch is the reusable TIM decode target of the beacon hot path
+	// (see handleBeacon): idle-BSS beacon reception allocates nothing.
+	timScratch frame.TIM
 
 	// OnReceive delivers application payloads.
 	OnReceive DeliveryFunc
@@ -377,11 +381,19 @@ func (s *STA) handleMgmt(f *frame.Frame, info medium.RxInfo) {
 	}
 }
 
+// handleBeacon consumes a beacon/probe-response as views into the frame
+// body — LookupIE for the elements, ParseTIMInto into the reusable TIM
+// scratch — so steady-state beacon reception allocates nothing (the SSID
+// string is only materialised when it actually changes). This is the rx
+// half of the idle-BSS alloc wall; the AP's AppendBeacon is the tx half.
 func (s *STA) handleBeacon(f *frame.Frame, info medium.RxInfo) {
-	b, err := frame.ParseBeacon(f.Body)
-	if err != nil {
+	body := f.Body
+	if len(body) < 12 {
 		return
 	}
+	intervalTU := binary.LittleEndian.Uint16(body[8:10])
+	capBits := binary.LittleEndian.Uint16(body[10:12])
+	ies := body[12:]
 	s.Stats.BeaconsSeen++
 	c := s.cands[f.Addr2]
 	if c == nil {
@@ -389,19 +401,21 @@ func (s *STA) handleBeacon(f *frame.Frame, info medium.RxInfo) {
 		s.cands[f.Addr2] = c
 		c.rssi = float64(info.RSSI)
 	}
-	c.ssid = b.SSID
-	c.privacy = b.Capability&frame.CapPrivacy != 0
+	if ssid, ok := frame.LookupIE(ies, frame.IESSID); ok && string(ssid) != c.ssid {
+		c.ssid = string(ssid)
+	}
+	c.privacy = capBits&frame.CapPrivacy != 0
 	c.lastSeen = s.k.Now()
 	c.rssi = 0.8*c.rssi + 0.2*float64(info.RSSI)
-	if b.Channel != 0 {
-		c.channel = int(b.Channel)
+	if ch, ok := frame.LookupIE(ies, frame.IEDSParam); ok && len(ch) == 1 && ch[0] != 0 {
+		c.channel = int(ch[0])
 	}
 
 	if s.state == staAssociated && f.Addr2 == s.bssid {
 		s.missed = 0
 		s.servRSSI = c.rssi
-		if b.IntervalTU > 0 {
-			s.beaconInt = sim.Duration(b.IntervalTU) * TU
+		if intervalTU > 0 {
+			s.beaconInt = sim.Duration(intervalTU) * TU
 		}
 		if s.cfg.PowerSave {
 			// Sync the doze cycle to the AP's actual beacon schedule: wake
@@ -411,7 +425,13 @@ func (s *STA) handleBeacon(f *frame.Frame, info medium.RxInfo) {
 				guard = s.beaconInt / 4
 			}
 			s.armPSWake(s.beaconInt - guard)
-			s.handleTIM(b.TIM)
+			var tim *frame.TIM
+			if data, ok := frame.LookupIE(ies, frame.IETIM); ok {
+				if err := frame.ParseTIMInto(&s.timScratch, data); err == nil {
+					tim = &s.timScratch
+				}
+			}
+			s.handleTIM(tim)
 			s.k.Schedule(5*sim.Millisecond, "ps-doze", s.scheduleDoze)
 		}
 		s.maybeRoam()

@@ -67,6 +67,35 @@ func TestFixedDecisionZeroAlloc(t *testing.T) {
 	testDecisionZeroAlloc(t, "fixed", NewFixed(phy.Mode80211b(), 3))
 }
 
+// Per-peer stats are inlined ([maxRates]rateStat arrays in the peer
+// structs), so even FIRST contact with a new peer must not allocate once
+// the peer array has capacity — the regression this pins is the old
+// per-peer make([]rateStat, NumRates). The peers slices are pre-grown here
+// because append's doubling is the one (amortised) allocation that
+// legitimately remains.
+func TestPeerFirstContactZeroAlloc(t *testing.T) {
+	const nPeers = 64
+	s := NewSampleRate(phy.Mode80211g(), rng.New(6))
+	s.peers = make([]srPeer, 0, nPeers)
+	m := NewMinstrel(phy.Mode80211g(), rng.New(7))
+	m.peers = make([]minstrelPeer, 0, nPeers)
+	a := NewARF(phy.Mode80211b())
+	a.peers = make([]arfPeer, 0, nPeers)
+
+	i := 0
+	allocs := testing.AllocsPerRun(nPeers-1, func() {
+		p := frame.MACAddr{2, 0, 0, 0, 1, byte(i)}
+		i++
+		for _, rc := range []mac.RateController{s, m, a} {
+			ri := rc.SelectRate(p, 1500, 0)
+			rc.OnTxResult(p, ri, true)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("first contact with a new peer allocates %v/op, want 0", allocs)
+	}
+}
+
 // Minstrel's windowed stats update runs every Window results; it must fold
 // in place without allocating, even right on the update boundary.
 func TestMinstrelWindowUpdateZeroAlloc(t *testing.T) {

@@ -6,6 +6,13 @@ import (
 	"repro/internal/rng"
 )
 
+// maxRates bounds every PHY mode's rate table (the OFDM modes top out at 8
+// entries). The per-peer stat arrays are inlined at this size, so creating
+// a peer costs no allocation beyond the (amortised) peer-array growth —
+// the last per-peer indirection the controllers had. The constructors
+// reject larger modes loudly rather than corrupt state.
+const maxRates = 8
+
 // rateStat is the bookkeeping both SampleRate and Minstrel keep per
 // (destination, rate).
 type rateStat struct {
@@ -33,7 +40,7 @@ type SampleRate struct {
 	last  int // index of the most recently used peer
 	// scratch backs the per-decision probe-candidate build, reused across
 	// decisions so the probe path stays allocation-free.
-	scratch []phy.RateIdx
+	scratch [maxRates]phy.RateIdx
 }
 
 type srPeer struct {
@@ -42,7 +49,7 @@ type srPeer struct {
 }
 
 type srState struct {
-	stats   []rateStat
+	stats   [maxRates]rateStat
 	counter int
 	// lastSample holds the rate being probed so results credit correctly;
 	// -1 when not probing. (Results arrive tagged with the rate, so this is
@@ -52,11 +59,13 @@ type srState struct {
 
 // NewSampleRate builds a SampleRate controller.
 func NewSampleRate(mode *phy.Mode, src *rng.Source) *SampleRate {
+	if mode.NumRates() > maxRates {
+		panic("rate: mode exceeds the inlined per-peer stat capacity")
+	}
 	return &SampleRate{
 		Mode:        mode,
 		SampleEvery: 10,
 		rng:         src.Split("samplerate"),
-		scratch:     make([]phy.RateIdx, 0, mode.NumRates()),
 	}
 }
 
@@ -65,7 +74,8 @@ func (s *SampleRate) Name() string { return "samplerate" }
 
 // state returns (creating on first contact) the per-destination state from
 // the flat peer array; see the allocation note on ARF.state. The per-rate
-// stats slice is the only allocation, paid once per peer at first contact.
+// stats live in an inline [maxRates]rateStat array, so first contact costs
+// nothing beyond the amortised peer-array growth.
 func (s *SampleRate) state(dst frame.MACAddr) *srState {
 	if s.last < len(s.peers) && s.peers[s.last].addr == dst {
 		return &s.peers[s.last].srState
@@ -76,7 +86,7 @@ func (s *SampleRate) state(dst frame.MACAddr) *srState {
 			return &s.peers[i].srState
 		}
 	}
-	st := srState{stats: make([]rateStat, s.Mode.NumRates()), probeIdx: -1}
+	st := srState{probeIdx: -1}
 	for i := range st.stats {
 		st.stats[i].ewmaProb = -1
 	}
@@ -199,7 +209,7 @@ type minstrelPeer struct {
 }
 
 type minstrelState struct {
-	stats      []rateStat
+	stats      [maxRates]rateStat
 	results    int
 	best       phy.RateIdx
 	secondBest phy.RateIdx
@@ -208,6 +218,9 @@ type minstrelState struct {
 
 // NewMinstrel builds a Minstrel controller.
 func NewMinstrel(mode *phy.Mode, src *rng.Source) *Minstrel {
+	if mode.NumRates() > maxRates {
+		panic("rate: mode exceeds the inlined per-peer stat capacity")
+	}
 	return &Minstrel{
 		Mode:          mode,
 		SamplePercent: 10,
@@ -232,7 +245,6 @@ func (m *Minstrel) state(dst frame.MACAddr) *minstrelState {
 		}
 	}
 	st := minstrelState{
-		stats:      make([]rateStat, m.Mode.NumRates()),
 		best:       m.Mode.LowestBasic(),
 		secondBest: m.Mode.LowestBasic(),
 	}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"os/exec"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/harness"
@@ -13,10 +15,12 @@ import (
 )
 
 // SpawnFunc launches the worker for one shard of one experiment and
-// returns the worker's stdout (the WriteShard wire format). Implementations
-// are free to run the shard anywhere — a subprocess, a container, another
-// machine — as long as the bytes come back.
-type SpawnFunc func(expID string, shard, shards int) ([]byte, error)
+// returns the worker's stdout (the WriteShard wire format). pts is the
+// explicit point assignment the worker must evaluate (the Runner computes
+// it with AssignLPT over the grid's cost hints). Implementations are free
+// to run the shard anywhere — a subprocess, a container, another machine —
+// as long as the bytes come back.
+type SpawnFunc func(expID string, shard, shards int, pts []int) ([]byte, error)
 
 // Runner executes experiments across shards and merges the results.
 type Runner struct {
@@ -49,6 +53,10 @@ func (r *Runner) Run(e *harness.Experiment) (*Result, error) {
 		shards = 1
 	}
 	g := e.Grid(r.Quick)
+	// Cost-weighted static assignment: LPT over the grid's per-point cost
+	// hints. With uniform costs this still balances counts, so the old
+	// round-robin behaviour is a special case.
+	bins := AssignLPT(g.Costs(), shards)
 
 	outs := make([][]byte, shards)
 	errs := make([]error, shards)
@@ -58,14 +66,14 @@ func (r *Runner) Run(e *harness.Experiment) (*Result, error) {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
-				outs[s], errs[s] = r.Spawn(e.ID, s, shards)
+				outs[s], errs[s] = r.Spawn(e.ID, s, shards, bins[s])
 			}(s)
 		}
 		wg.Wait()
 	} else {
 		for s := 0; s < shards; s++ {
 			var buf bytes.Buffer
-			errs[s] = RunWorker(e, s, shards, r.Quick, &buf)
+			errs[s] = RunWorkerPoints(e, s, shards, bins[s], r.Quick, &buf)
 			outs[s] = buf.Bytes()
 		}
 	}
@@ -98,14 +106,15 @@ func (r *Runner) Run(e *harness.Experiment) (*Result, error) {
 }
 
 // ExecSpawner returns a SpawnFunc that re-execs bin with the standard
-// worker argv — `-shard i/N -experiment ID` followed by extraArgs — and
-// captures its stdout. Worker stderr is passed through to the parent's
-// stderr so progress and crash output stay visible.
+// worker argv — `-shard i/N -experiment ID -points i,j,k` followed by
+// extraArgs — and captures its stdout. Worker stderr is passed through to
+// the parent's stderr so progress and crash output stay visible.
 func ExecSpawner(bin string, extraArgs ...string) SpawnFunc {
-	return func(expID string, shard, shards int) ([]byte, error) {
+	return func(expID string, shard, shards int, pts []int) ([]byte, error) {
 		argv := append([]string{
 			"-shard", fmt.Sprintf("%d/%d", shard, shards),
 			"-experiment", expID,
+			"-points", FormatPoints(pts),
 		}, extraArgs...)
 		cmd := exec.Command(bin, argv...)
 		cmd.Stderr = os.Stderr
@@ -126,4 +135,40 @@ func ParseShardSpec(spec string) (shard, shards int, err error) {
 		return 0, 0, fmt.Errorf("sweep: shard spec %q out of range", spec)
 	}
 	return shard, shards, nil
+}
+
+// FormatPoints encodes an explicit point assignment for the -points worker
+// flag. The empty assignment encodes as "none" — a shard can legitimately
+// own nothing (more shards than points) and the flag value must stay
+// distinguishable from an unset flag.
+func FormatPoints(pts []int) string {
+	if len(pts) == 0 {
+		return "none"
+	}
+	var b strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", p)
+	}
+	return b.String()
+}
+
+// ParsePoints decodes a FormatPoints value. It does not validate against a
+// grid — RunWorkerPoints re-checks range and uniqueness.
+func ParsePoints(spec string) ([]int, error) {
+	if spec == "none" {
+		return []int{}, nil
+	}
+	parts := strings.Split(spec, ",")
+	pts := make([]int, 0, len(parts))
+	for _, s := range parts {
+		p, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad point list %q: %v", spec, err)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
 }

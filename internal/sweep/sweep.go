@@ -49,13 +49,51 @@ import (
 // Points returns the point indices shard s of n owns out of total points:
 // the deterministic round-robin assignment {i : i mod n == s}. It is valid
 // for any n ≥ 1, including n greater than total (trailing shards own
-// nothing).
+// nothing). Round-robin balances point counts, not costs; orchestrators
+// that know the grid's cost hints use AssignLPT instead and tell workers
+// their points explicitly.
 func Points(shard, shards, total int) []int {
 	var pts []int
 	for i := shard; i < total; i += shards {
 		pts = append(pts, i)
 	}
 	return pts
+}
+
+// AssignLPT partitions points into shards bins by longest-processing-time-
+// first scheduling: points are placed in descending cost order, each into
+// the currently least-loaded bin. LPT's makespan is within 4/3 of optimal,
+// which in practice keeps a skewed grid's slowest shard close to the mean
+// instead of round-robin's worst case (all the expensive points landing on
+// one shard). The assignment is deterministic — ties break on lower point
+// index and lower bin index — and each bin is returned in ascending point
+// order. Every point appears in exactly one bin (pinned by the partition
+// property test).
+func AssignLPT(costs []float64, shards int) [][]int {
+	if shards < 1 {
+		shards = 1
+	}
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+	bins := make([][]int, shards)
+	loads := make([]float64, shards)
+	for _, p := range order {
+		best := 0
+		for b := 1; b < shards; b++ {
+			if loads[b] < loads[best] {
+				best = b
+			}
+		}
+		bins[best] = append(bins[best], p)
+		loads[best] += costs[p]
+	}
+	for _, bin := range bins {
+		sort.Ints(bin)
+	}
+	return bins
 }
 
 // Header identifies one shard's output.
@@ -78,15 +116,37 @@ type ShardStats struct {
 	Events uint64 `json:"events"`
 }
 
-// RunWorker evaluates the points of e owned by shard and writes the shard
-// protocol to w. It is the whole worker side of the engine: both
-// cmd/experiments and cmd/wlanbench call it from their -shard modes.
+// RunWorker evaluates the points of e owned by shard under the round-robin
+// assignment and writes the shard protocol to w. Orchestrators that assign
+// points explicitly (LPT binning, cluster work stealing) call
+// RunWorkerPoints instead; both cmd/experiments and cmd/wlanbench reach one
+// of the two from their -shard modes.
 func RunWorker(e *harness.Experiment, shard, shards int, quick bool, w io.Writer) error {
 	if shards < 1 || shard < 0 || shard >= shards {
 		return fmt.Errorf("sweep: invalid shard %d/%d", shard, shards)
 	}
+	return RunWorkerPoints(e, shard, shards, Points(shard, shards, e.Grid(quick).N), quick, w)
+}
+
+// RunWorkerPoints evaluates an explicit point subset of e and writes the
+// shard protocol to w; shard/shards only label the output header. It is the
+// whole worker side of the engine — the subprocess -shard modes, the LPT
+// static assignment and the cluster agent all funnel through it.
+func RunWorkerPoints(e *harness.Experiment, shard, shards int, pts []int, quick bool, w io.Writer) error {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return fmt.Errorf("sweep: invalid shard %d/%d", shard, shards)
+	}
 	g := e.Grid(quick)
-	pts := Points(shard, shards, g.N)
+	seen := make(map[int]bool, len(pts))
+	for _, p := range pts {
+		if p < 0 || p >= g.N {
+			return fmt.Errorf("sweep: point %d outside grid of %d", p, g.N)
+		}
+		if seen[p] {
+			return fmt.Errorf("sweep: point %d assigned twice to shard %d/%d", p, shard, shards)
+		}
+		seen[p] = true
+	}
 
 	var msBefore, msAfter runtime.MemStats
 	runtime.GC()

@@ -30,8 +30,18 @@ func TestMain(m *testing.M) {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", os.Getenv("SWEEP_WORKER_EXP"))
 			os.Exit(1)
 		}
-		if err := RunWorker(e, shard, shards, os.Getenv("SWEEP_WORKER_QUICK") == "1", os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		quick := os.Getenv("SWEEP_WORKER_QUICK") == "1"
+		var werr error
+		if pspec := os.Getenv("SWEEP_WORKER_POINTS"); pspec != "" {
+			var pts []int
+			if pts, werr = ParsePoints(pspec); werr == nil {
+				werr = RunWorkerPoints(e, shard, shards, pts, quick, os.Stdout)
+			}
+		} else {
+			werr = RunWorker(e, shard, shards, quick, os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
 			os.Exit(1)
 		}
 		os.Exit(0)
@@ -199,11 +209,12 @@ func TestSubprocessReExec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spawn := func(expID string, shard, shards int) ([]byte, error) {
+	spawn := func(expID string, shard, shards int, pts []int) ([]byte, error) {
 		cmd := exec.Command(bin)
 		cmd.Env = append(os.Environ(),
 			"SWEEP_WORKER_SHARD="+fmt.Sprintf("%d/%d", shard, shards),
 			"SWEEP_WORKER_EXP="+expID,
+			"SWEEP_WORKER_POINTS="+FormatPoints(pts),
 			"SWEEP_WORKER_QUICK=1")
 		var out, errb bytes.Buffer
 		cmd.Stdout, cmd.Stderr = &out, &errb
