@@ -28,6 +28,21 @@
 // repro/internal/cluster). Output stays byte-identical to the sequential
 // run, even when agents die mid-sweep.
 //
+// With -checkpoint the sweep becomes durable: every verified chunk is
+// journaled to the given file (crash-safe append; internal/sweep
+// checkpoint format) and a restarted run — after a coordinator crash, OOM
+// or Ctrl-C — loads the journal, skips the completed points, and still
+// produces output byte-identical to an uninterrupted run. -checkpoint
+// requires -experiment (the journal is per-sweep) and works with or
+// without -agents; delete the file to start over.
+//
+// -agent accepts -chaos seed, which serves the protocol through the
+// internal/cluster/faultnet fault injector: connection refusals,
+// mid-stream drops, stalls and delayed writes on a schedule that is a pure
+// function of the seed. Coordinators pointed at chaos agents must still
+// merge sequential-identical output — that is the property CI's chaos step
+// exercises.
+//
 // -shard i/N (with -points) is the internal worker mode; it emits the
 // internal/sweep wire format on stdout and is not meant to be called by
 // hand.
@@ -36,11 +51,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/faultnet"
 	"repro/internal/harness"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -57,6 +74,8 @@ func main() {
 		points  = flag.String("points", "", "worker mode: explicit point assignment i,j,k (internal; default round-robin from -shard)")
 		agent   = flag.String("agent", "", "agent mode: serve sweep chunks on this TCP address (e.g. :7101) until killed")
 		agents  = flag.String("agents", "", "coordinator mode: comma-separated agent addresses to dispatch sweeps across (an implicit local agent is always added)")
+		ckpt    = flag.String("checkpoint", "", "journal verified chunks to this file and resume from it on restart (requires -experiment)")
+		chaos   = flag.Int64("chaos", 0, "with -agent: serve through the seeded faultnet injector (0 = off)")
 	)
 	flag.Parse()
 
@@ -70,6 +89,17 @@ func main() {
 	if *agent != "" {
 		logf := func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "agent: "+format+"\n", args...)
+		}
+		if *chaos != 0 {
+			ln, err := net.Listen("tcp", *agent)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "agent: fault injection on, seed %d\n", *chaos)
+			if err := cluster.ServeListener(faultnet.Wrap(ln, *chaos), os.Stdout, logf); err != nil {
+				fatal(err)
+			}
+			return
 		}
 		if err := cluster.ListenAndServe(*agent, os.Stdout, logf); err != nil {
 			fatal(err)
@@ -112,16 +142,22 @@ func main() {
 	}
 
 	var coord *cluster.Coordinator
-	if *agents != "" {
+	if *agents != "" || *ckpt != "" {
 		if *shards > 1 {
-			fatal(fmt.Errorf("experiments: -shards and -agents are mutually exclusive (the cluster coordinator schedules per chunk; drop one of the flags)"))
+			fatal(fmt.Errorf("experiments: -shards and -agents/-checkpoint are mutually exclusive (the cluster coordinator schedules per chunk; drop one of the flags)"))
+		}
+		if *ckpt != "" && len(exps) != 1 {
+			fatal(fmt.Errorf("experiments: -checkpoint journals one sweep; pick it with -experiment"))
 		}
 		coord = &cluster.Coordinator{
-			Agents: strings.Split(*agents, ","),
-			Quick:  *quick,
+			Quick:          *quick,
+			CheckpointPath: *ckpt,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},
+		}
+		if *agents != "" {
+			coord.Agents = strings.Split(*agents, ",")
 		}
 	}
 
@@ -201,6 +237,9 @@ func clusterSummary(res *cluster.Result) string {
 	}
 	if res.Redispatched > 0 {
 		fmt.Fprintf(&b, "; %d point(s) re-dispatched", res.Redispatched)
+	}
+	if res.Resumed > 0 {
+		fmt.Fprintf(&b, "; %d point(s) resumed from checkpoint", res.Resumed)
 	}
 	return b.String()
 }

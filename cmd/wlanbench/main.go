@@ -7,7 +7,7 @@
 //
 //	wlanbench [-ids F1,F2] [-runs 3] [-full] [-workers N] [-shards N] \
 //	          [-clusteragents N | -agents h1:p,h2:p] \
-//	          [-baseline old.json] [-out BENCH_PR5.json]
+//	          [-baseline old.json] [-out BENCH_PR6.json]
 //
 // With -baseline, the report embeds the older report and per-experiment
 // speedup factors, which is how BENCH_PR1.json records the pre-PR seed
@@ -30,6 +30,18 @@
 // is disabled for this measurement so the numbers reflect the agent fleet
 // alone — that is what makes the 1/2/4-agent scaling table in
 // PERFORMANCE.md comparable.
+//
+// With -chaos seed, the command is a durability gate instead of a bench:
+// each experiment's cluster sweep runs with every loopback agent behind
+// the internal/cluster/faultnet injector (connection refusals, mid-stream
+// drops, stalls, delayed writes on a seed-determined schedule) and the
+// merged output is asserted byte-identical to the sequential run. Stdout —
+// the fault schedule window plus per-experiment verdicts — is a pure
+// function of the seed and reproduces bit-for-bit across runs.
+//
+// With -checkpoint path, the cluster measurement journals verified chunks
+// to path.<ID> per experiment and resumes from it on restart (see
+// `experiments -checkpoint` and the README's "Durable sweeps" section).
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"runtime"
@@ -44,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/faultnet"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/sweep"
@@ -116,7 +130,9 @@ func main() {
 	clusterAgents := flag.Int("clusteragents", 0, "spawn N loopback agent subprocesses and measure each experiment across them (0 = skip)")
 	expID := flag.String("experiment", "", "experiment ID for -shard worker mode")
 	baseline := flag.String("baseline", "", "older report to embed and compare against")
-	out := flag.String("out", "BENCH_PR5.json", "output path (- for stdout)")
+	chaosSeed := flag.Int64("chaos", 0, "chaos mode: run each experiment's cluster sweep under the seeded faultnet injector and assert byte-identity with sequential (0 = off)")
+	ckpt := flag.String("checkpoint", "", "journal the cluster measurement's verified chunks to this file (per-experiment suffix added) and resume on restart")
+	out := flag.String("out", "BENCH_PR6.json", "output path (- for stdout)")
 	note := flag.String("note", "", "free-form measurement note recorded in the report (';'-separated)")
 	failAllocs := flag.String("failallocs", "", "report whose per-experiment allocs/op are a hard ceiling: exit non-zero on any increase (allocs are deterministic, unlike wall times)")
 	flag.Parse()
@@ -170,6 +186,10 @@ func main() {
 			}
 			exps = append(exps, e)
 		}
+	}
+
+	if *chaosSeed != 0 {
+		os.Exit(runChaos(exps, *chaosSeed, !*full, *ckpt))
 	}
 
 	rep := Report{
@@ -258,6 +278,7 @@ func main() {
 			r.Sharded = sh
 		}
 		if coord != nil {
+			coord.CheckpointPath = ckptPath(*ckpt, e.ID)
 			cl, err := measureCluster(e, coord, r.NsPerOp)
 			if err != nil {
 				fatal(err)
@@ -461,6 +482,80 @@ func measureSharded(e *harness.Experiment, runner *sweep.Runner, seqNs int64) (*
 		sh.SpeedupVsSeq = round2(float64(seqNs) / float64(wall.Nanoseconds()))
 	}
 	return sh, nil
+}
+
+// ckptPath derives the per-experiment checkpoint file from the -checkpoint
+// base (the journal is per-sweep: one experiment, one file).
+func ckptPath(base, id string) string {
+	if base == "" {
+		return ""
+	}
+	return base + "." + id
+}
+
+// chaosAgents is the loopback fleet size of the chaos mode: two agents so
+// re-dispatch has somewhere to go besides the local agent.
+const chaosAgents = 2
+
+// runChaos is the -chaos mode: each experiment's cluster sweep runs with
+// every agent behind a seeded faultnet listener — connection refusals,
+// mid-stream drops, stalls, delayed writes — and the merged output is
+// asserted byte-identical to the sequential run. Everything written to
+// stdout is a pure function of (seed, experiment list): the fault schedule
+// window and the per-experiment verdicts reproduce bit-for-bit across
+// runs, which is the artifact CI diffs. Returns the process exit code.
+func runChaos(exps []*harness.Experiment, seed int64, quick bool, ckpt string) int {
+	for i := 0; i < chaosAgents; i++ {
+		fmt.Printf("agent %d fault schedule (first 16 connections):\n%s", i, faultnet.Describe(seed+int64(i), 16))
+	}
+
+	var addrs []string
+	for i := 0; i < chaosAgents; i++ {
+		inner, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		ln := faultnet.Wrap(inner, seed+int64(i))
+		a := &cluster.Agent{}
+		go a.Serve(ln)
+		defer a.Close()
+		addrs = append(addrs, inner.Addr().String())
+	}
+
+	code := 0
+	for _, e := range exps {
+		want := e.Run(quick).CSV()
+		coord := &cluster.Coordinator{
+			Agents: addrs,
+			Quick:  quick,
+			// Recovery knobs tightened so injected faults cost milliseconds:
+			// chaos mode is a correctness gate, not a soak test.
+			HeartbeatEvery:   20 * time.Millisecond,
+			HeartbeatTimeout: 200 * time.Millisecond,
+			RetryBackoff:     10 * time.Millisecond,
+			ReadmitEvery:     25 * time.Millisecond,
+			Seed:             seed,
+			CheckpointPath:   ckptPath(ckpt, e.ID),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+		res, err := coord.Run(e)
+		switch {
+		case err != nil:
+			fmt.Printf("chaos %s: ERROR\n", e.ID)
+			fmt.Fprintf(os.Stderr, "wlanbench: chaos %s: %v\n", e.ID, err)
+			code = 1
+		case res.Table.CSV() != want:
+			fmt.Printf("chaos %s: MISMATCH\n", e.ID)
+			fmt.Fprintf(os.Stderr, "wlanbench: chaos %s: cluster output under fault injection differs from sequential\n", e.ID)
+			code = 1
+		default:
+			fmt.Printf("chaos %s: match\n", e.ID)
+		}
+	}
+	return code
 }
 
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

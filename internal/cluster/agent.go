@@ -30,22 +30,39 @@
 // coordinator re-dispatch work anywhere and still merge tables
 // byte-identical to the sequential run.
 //
-// # Exactly-once merge contract
+// # At-least-once dispatch, exactly-once merge, resume
 //
-// The coordinator guarantees each grid point lands in the merged table
-// exactly once, whatever fails in between:
+// Dispatch is at-least-once: a chunk whose agent fails — connection loss,
+// missed heartbeat, exceeded deadline, or a response that fails validation
+// — is re-dispatched to whichever agent next asks for work, so the same
+// point may be evaluated more than once. The coordinator nevertheless
+// guarantees each grid point lands in the merged table exactly once,
+// whatever fails in between:
 //
 //   - every chunk response is validated against the request (experiment,
 //     quick mode, and the exact point set) before any row is accepted;
 //   - a failed or dead agent's in-flight points are re-dispatched to
 //     surviving agents (ultimately the implicit local agent, so a sweep
-//     degrades to local execution rather than failing);
+//     degrades to local execution rather than failing); once-live agents
+//     are periodically re-probed and re-admitted to the fleet when they
+//     come back;
 //   - results are deduplicated by point index — the first valid result for
 //     a point wins and later duplicates from re-dispatch races are
 //     discarded; both results are byte-identical by determinism, so
 //     "first wins" is not a race on content;
 //   - the final merge (sweep.Merge) independently re-verifies that every
 //     point in [0, N) is present exactly once.
+//
+// With Coordinator.CheckpointPath set, the contract extends across
+// coordinator process death: every chunk is journaled (internal/sweep
+// checkpoint format, fsynced append) only after it passes the validation
+// above, so the journal holds nothing unverified. A restarted coordinator
+// re-validates the journal against the sweep identity and grid, truncates
+// at most a torn trailing record (the one a crash may have cut), marks the
+// journaled points delivered before any agent starts, and dispatches only
+// the remainder — the resumed sweep's merged table is byte-identical to an
+// uninterrupted run. Journal duplicates from re-dispatch races are
+// tolerated when byte-identical and rejected loudly otherwise.
 //
 // Agents are trusted, version-matched binaries (the same experiment
 // registry must be compiled in); the validation above is a seatbelt against
@@ -215,6 +232,13 @@ func ListenAndServe(addr string, w io.Writer, logf func(string, ...any)) error {
 	if err != nil {
 		return err
 	}
+	return ServeListener(ln, w, logf)
+}
+
+// ServeListener is ListenAndServe for a caller-provided listener — the
+// hook chaos modes use to interpose a fault-injecting wrapper (see
+// internal/cluster/faultnet) between the agent and its TCP socket.
+func ServeListener(ln net.Listener, w io.Writer, logf func(string, ...any)) error {
 	fmt.Fprintf(w, "cluster agent listening %s\n", ln.Addr())
 	a := &Agent{Logf: logf}
 	return a.Serve(ln)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // scheduler is the coordinator's work-stealing core: a cost-ordered pool of
@@ -27,6 +28,19 @@ type scheduler struct {
 	total   int
 	workers int // live workers; take fails when none remain and work does
 	err     error
+
+	// done closes when the sweep completes or fails; supervisors in a
+	// backoff or re-probe sleep select on it so a finished sweep never
+	// waits out their timers.
+	done       chan struct{}
+	doneClosed bool
+
+	// ewmaNsPerCost is the learned wall-clock cost model: nanoseconds per
+	// unit of Grid cost hint, an exponentially weighted mean over completed
+	// chunks. samples counts observations; the model is not trusted (and
+	// expectNs returns 0) until it has a few.
+	ewmaNsPerCost float64
+	samples       int
 }
 
 func newScheduler(costs []float64, workers int) *scheduler {
@@ -36,13 +50,57 @@ func newScheduler(costs []float64, workers int) *scheduler {
 		delivered: make(map[int][][]string, len(costs)),
 		total:     len(costs),
 		workers:   workers,
+		done:      make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	// Seed the pool cost-descending (stable on index for determinism).
 	for p := range costs {
 		s.insertLocked(p)
 	}
+	if s.total == 0 {
+		s.closeDoneLocked()
+	}
 	return s
+}
+
+// closeDoneLocked closes the done channel exactly once. Callers hold mu.
+func (s *scheduler) closeDoneLocked() {
+	if !s.doneClosed {
+		s.doneClosed = true
+		close(s.done)
+	}
+}
+
+// prefill records points completed by an earlier run (a checkpoint) as
+// delivered before any worker starts: they leave the pending pool and the
+// merge sees their journaled rows. Returns the number of points absorbed.
+func (s *scheduler) prefill(done map[int][][]string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for p, rows := range done {
+		if p < 0 || p >= s.total {
+			continue // OpenCheckpoint already range-checked; belt and braces
+		}
+		if _, dup := s.delivered[p]; dup {
+			continue
+		}
+		s.delivered[p] = rows
+		n++
+	}
+	if n > 0 {
+		kept := s.pending[:0]
+		for _, p := range s.pending {
+			if _, ok := s.delivered[p]; !ok {
+				kept = append(kept, p)
+			}
+		}
+		s.pending = kept
+	}
+	if len(s.delivered) == s.total {
+		s.closeDoneLocked()
+	}
+	return n
 }
 
 // insertLocked places p into pending keeping cost-descending order, ties on
@@ -80,6 +138,7 @@ func (s *scheduler) take(max int) []int {
 			// remains to run them.
 			s.err = fmt.Errorf("cluster: all agents failed with %d of %d points unfinished",
 				s.total-len(s.delivered), s.total)
+			s.closeDoneLocked()
 			s.cond.Broadcast()
 			return nil
 		}
@@ -115,6 +174,9 @@ func (s *scheduler) deliver(byPoint map[int][][]string) int {
 		s.delivered[p] = rows
 		fresh++
 	}
+	if len(s.delivered) == s.total {
+		s.closeDoneLocked()
+	}
 	s.cond.Broadcast()
 	return fresh
 }
@@ -145,14 +207,87 @@ func (s *scheduler) workerGone() {
 	s.mu.Unlock()
 }
 
+// workerBack re-admits a worker that had permanently failed but came back
+// (the coordinator's dead-agent re-probe succeeded).
+func (s *scheduler) workerBack() {
+	s.mu.Lock()
+	s.workers++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
 // fail aborts the sweep with a fatal error (first error wins).
 func (s *scheduler) fail(err error) {
 	s.mu.Lock()
 	if s.err == nil {
 		s.err = err
 	}
+	s.closeDoneLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
+}
+
+// finished reports whether the sweep has completed or failed.
+func (s *scheduler) finished() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// waitOr sleeps for d or until the sweep finishes, whichever is first; it
+// returns false when the sweep is over (callers must stop retrying).
+func (s *scheduler) waitOr(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.done:
+		return false
+	case <-t.C:
+		return !s.finished()
+	}
+}
+
+// costOf sums the cost hints of a chunk's points.
+func (s *scheduler) costOf(pts []int) float64 {
+	c := 0.0
+	for _, p := range pts {
+		if p >= 0 && p < len(s.costs) {
+			c += s.costs[p]
+		}
+	}
+	return c
+}
+
+// observe feeds one completed chunk into the cost model: elapsed wall time
+// (coordinator-side, so network round-trip is priced in) per unit of cost
+// hint, EWMA-smoothed (alpha 0.3) across chunks from every agent.
+func (s *scheduler) observe(cost float64, elapsed time.Duration) {
+	if cost <= 0 || elapsed <= 0 {
+		return
+	}
+	sample := float64(elapsed.Nanoseconds()) / cost
+	s.mu.Lock()
+	if s.samples == 0 {
+		s.ewmaNsPerCost = sample
+	} else {
+		s.ewmaNsPerCost = 0.7*s.ewmaNsPerCost + 0.3*sample
+	}
+	s.samples++
+	s.mu.Unlock()
+}
+
+// expectNs predicts a chunk's wall time from the learned model, or 0 when
+// the model has fewer than three observations and cannot be trusted yet.
+func (s *scheduler) expectNs(cost float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.samples < 3 || cost <= 0 {
+		return 0
+	}
+	return time.Duration(s.ewmaNsPerCost * cost)
 }
 
 // result returns the delivered point map and the sweep error, if any.

@@ -287,16 +287,25 @@ type Auth struct {
 	Challenge []byte // present in shared-key sequence 2 and 3
 }
 
+// IEChallenge is the shared-key challenge text element.
+const IEChallenge = 16
+
 // MarshalAuth builds an authentication frame body.
-func MarshalAuth(a *Auth) []byte {
-	out := make([]byte, 6)
-	binary.LittleEndian.PutUint16(out[0:2], a.Algorithm)
-	binary.LittleEndian.PutUint16(out[2:4], a.SeqNum)
-	binary.LittleEndian.PutUint16(out[4:6], a.Status)
+func MarshalAuth(a *Auth) []byte { return AppendAuth(nil, a) }
+
+// AppendAuth appends an authentication frame body to dst, byte-identical
+// to MarshalAuth with zero intermediate allocations — the append-style
+// path the pooled TX bodies of the management plane marshal through.
+func AppendAuth(dst []byte, a *Auth) []byte {
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], a.Algorithm)
+	binary.LittleEndian.PutUint16(hdr[2:4], a.SeqNum)
+	binary.LittleEndian.PutUint16(hdr[4:6], a.Status)
+	dst = append(dst, hdr[:]...)
 	if len(a.Challenge) > 0 {
-		out = append(out, MarshalIEs([]IE{{ID: 16, Data: a.Challenge}})...)
+		dst = AppendIE(dst, IEChallenge, a.Challenge)
 	}
-	return out
+	return dst
 }
 
 // ParseAuth parses an authentication frame body.
@@ -314,7 +323,7 @@ func ParseAuth(body []byte) (*Auth, error) {
 		if err != nil {
 			return nil, err
 		}
-		if ie := FindIE(ies, 16); ie != nil {
+		if ie := FindIE(ies, IEChallenge); ie != nil {
 			a.Challenge = ie.Data
 		}
 	}
@@ -330,14 +339,18 @@ type AssocReq struct {
 }
 
 // MarshalAssocReq builds an association-request body.
-func MarshalAssocReq(a *AssocReq) []byte {
-	out := make([]byte, 4)
-	binary.LittleEndian.PutUint16(out[0:2], a.Capability)
-	binary.LittleEndian.PutUint16(out[2:4], a.ListenIntv)
-	return append(out, MarshalIEs([]IE{
-		{ID: IESSID, Data: []byte(a.SSID)},
-		{ID: IESupportedRates, Data: a.Rates},
-	})...)
+func MarshalAssocReq(a *AssocReq) []byte { return AppendAssocReq(nil, a) }
+
+// AppendAssocReq appends an association-request body to dst,
+// byte-identical to MarshalAssocReq with zero intermediate allocations.
+func AppendAssocReq(dst []byte, a *AssocReq) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], a.Capability)
+	binary.LittleEndian.PutUint16(hdr[2:4], a.ListenIntv)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, IESSID, byte(len(a.SSID)))
+	dst = append(dst, a.SSID...)
+	return AppendIE(dst, IESupportedRates, a.Rates)
 }
 
 // ParseAssocReq parses an association-request body.
@@ -371,12 +384,17 @@ type AssocResp struct {
 }
 
 // MarshalAssocResp builds an association-response body.
-func MarshalAssocResp(a *AssocResp) []byte {
-	out := make([]byte, 6)
-	binary.LittleEndian.PutUint16(out[0:2], a.Capability)
-	binary.LittleEndian.PutUint16(out[2:4], a.Status)
-	binary.LittleEndian.PutUint16(out[4:6], a.AID)
-	return append(out, MarshalIEs([]IE{{ID: IESupportedRates, Data: a.Rates}})...)
+func MarshalAssocResp(a *AssocResp) []byte { return AppendAssocResp(nil, a) }
+
+// AppendAssocResp appends an association-response body to dst,
+// byte-identical to MarshalAssocResp with zero intermediate allocations.
+func AppendAssocResp(dst []byte, a *AssocResp) []byte {
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], a.Capability)
+	binary.LittleEndian.PutUint16(hdr[2:4], a.Status)
+	binary.LittleEndian.PutUint16(hdr[4:6], a.AID)
+	dst = append(dst, hdr[:]...)
+	return AppendIE(dst, IESupportedRates, a.Rates)
 }
 
 // ParseAssocResp parses an association-response body.

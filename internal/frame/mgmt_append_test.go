@@ -1,0 +1,94 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The append-style management marshallers (AppendAuth, AppendAssocReq,
+// AppendAssocResp) feed the pooled TX bodies of the net80211 management
+// plane. These tests pin the exact wire layout — Marshal* delegates to
+// Append*, so the layout goldens guard both — and the zero-allocation
+// contract that makes probe/auth/assoc exchanges heap-free.
+
+func TestAppendAuthLayout(t *testing.T) {
+	a := &Auth{Algorithm: AuthAlgoSharedKey, SeqNum: 3, Status: StatusSuccess,
+		Challenge: []byte{9, 8, 7}}
+	want := []byte{1, 0, 3, 0, 0, 0, IEChallenge, 3, 9, 8, 7}
+	if got := AppendAuth(nil, a); !bytes.Equal(got, want) {
+		t.Fatalf("AppendAuth = %x, want %x", got, want)
+	}
+	if got := MarshalAuth(a); !bytes.Equal(got, want) {
+		t.Fatalf("MarshalAuth = %x, want %x", got, want)
+	}
+	parsed, err := ParseAuth(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Algorithm != a.Algorithm || parsed.SeqNum != a.SeqNum ||
+		parsed.Status != a.Status || !bytes.Equal(parsed.Challenge, a.Challenge) {
+		t.Fatalf("round trip lost fields: %+v", parsed)
+	}
+	// Without a challenge the body is the bare 6-byte header.
+	bare := AppendAuth(nil, &Auth{Algorithm: AuthAlgoOpen, SeqNum: 2, Status: StatusAuthAlgoUnsupp})
+	if want := []byte{0, 0, 2, 0, 13, 0}; !bytes.Equal(bare, want) {
+		t.Fatalf("challengeless AppendAuth = %x, want %x", bare, want)
+	}
+}
+
+func TestAppendAssocReqLayout(t *testing.T) {
+	a := &AssocReq{Capability: CapESS, ListenIntv: 10, SSID: "net", Rates: []byte{0x82, 0x04}}
+	want := []byte{1, 0, 10, 0, IESSID, 3, 'n', 'e', 't', IESupportedRates, 2, 0x82, 0x04}
+	if got := AppendAssocReq(nil, a); !bytes.Equal(got, want) {
+		t.Fatalf("AppendAssocReq = %x, want %x", got, want)
+	}
+	if got := MarshalAssocReq(a); !bytes.Equal(got, want) {
+		t.Fatalf("MarshalAssocReq = %x, want %x", got, want)
+	}
+	parsed, err := ParseAssocReq(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.SSID != a.SSID || parsed.ListenIntv != a.ListenIntv || !bytes.Equal(parsed.Rates, a.Rates) {
+		t.Fatalf("round trip lost fields: %+v", parsed)
+	}
+}
+
+func TestAppendAssocRespLayout(t *testing.T) {
+	a := &AssocResp{Capability: CapESS, Status: StatusSuccess, AID: 0x1234, Rates: []byte{0x96}}
+	want := []byte{1, 0, 0, 0, 0x34, 0x12, IESupportedRates, 1, 0x96}
+	if got := AppendAssocResp(nil, a); !bytes.Equal(got, want) {
+		t.Fatalf("AppendAssocResp = %x, want %x", got, want)
+	}
+	if got := MarshalAssocResp(a); !bytes.Equal(got, want) {
+		t.Fatalf("MarshalAssocResp = %x, want %x", got, want)
+	}
+	parsed, err := ParseAssocResp(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.AID != a.AID || parsed.Status != a.Status || !bytes.Equal(parsed.Rates, a.Rates) {
+		t.Fatalf("round trip lost fields: %+v", parsed)
+	}
+}
+
+// Appending into a buffer with capacity must not touch the heap.
+func TestAppendMgmtZeroAlloc(t *testing.T) {
+	challenge := make([]byte, 128)
+	auth := &Auth{Algorithm: AuthAlgoSharedKey, SeqNum: 2, Challenge: challenge}
+	req := &AssocReq{Capability: CapESS, ListenIntv: 10, SSID: "alloc-wall", Rates: []byte{0x82, 0x84}}
+	resp := &AssocResp{Capability: CapESS, AID: 7, Rates: []byte{0x82, 0x84}}
+	buf := make([]byte, 0, 256)
+	for name, appendBody := range map[string]func([]byte) []byte{
+		"AppendAuth":      func(dst []byte) []byte { return AppendAuth(dst, auth) },
+		"AppendAssocReq":  func(dst []byte) []byte { return AppendAssocReq(dst, req) },
+		"AppendAssocResp": func(dst []byte) []byte { return AppendAssocResp(dst, resp) },
+	} {
+		allocs := testing.AllocsPerRun(200, func() {
+			buf = appendBody(buf[:0])
+		})
+		if allocs != 0 {
+			t.Errorf("%s allocates %v/op into a sized buffer, want 0", name, allocs)
+		}
+	}
+}

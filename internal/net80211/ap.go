@@ -205,6 +205,14 @@ func (ap *AP) AssociatedCount() int {
 
 func (ap *AP) privacy() bool { return len(ap.cfg.WEPKey) > 0 }
 
+// tracing reports whether a real tracer is attached. Handlers gate their
+// trace.Event construction on it so the fmt.Sprintf detail strings are never
+// built under the default trace.Nop — tracing off must cost nothing.
+func (ap *AP) tracing() bool {
+	_, nop := ap.Tracer.(trace.Nop)
+	return !nop
+}
+
 // open decrypts a received WEP body into the AP's reusable scratch. The
 // result is a view, valid until the next open call; consumers copy what
 // they keep (queueFromDS re-encapsulates, the DS port clones).
@@ -371,7 +379,7 @@ func (ap *AP) handleProbe(f *frame.Frame) {
 	if ap.privacy() {
 		capBits |= frame.CapPrivacy
 	}
-	resp := &frame.Beacon{
+	resp := frame.Beacon{
 		Timestamp:  uint64(ap.k.Now() / 1000),
 		IntervalTU: uint16(ap.cfg.BeaconInterval / TU),
 		Capability: capBits,
@@ -379,8 +387,19 @@ func (ap *AP) handleProbe(f *frame.Frame) {
 		Rates:      ap.rates,
 		Channel:    uint8(ap.channel()),
 	}
-	out := frame.NewMgmt(frame.SubtypeProbeResp, f.Addr2, ap.BSSID(), ap.BSSID(), frame.MarshalBeacon(resp))
-	ap.dcf.Enqueue(out)
+	// The response body is built with AppendBeacon into a pooled TX body,
+	// like the beacon itself: a probe storm makes the AP marshal nothing on
+	// the heap.
+	slot := ap.tx.slot()
+	slot.body = frame.AppendBeacon(slot.body[:0], &resp)
+	slot.f = frame.Frame{
+		Type: frame.TypeManagement, Subtype: frame.SubtypeProbeResp,
+		Addr1: f.Addr2, Addr2: ap.BSSID(), Addr3: ap.BSSID(),
+		Body: slot.body,
+	}
+	if ap.dcf.Enqueue(&slot.f) {
+		ap.tx.commit()
+	}
 }
 
 func (ap *AP) entry(addr frame.MACAddr) *staEntry {
@@ -392,12 +411,26 @@ func (ap *AP) entry(addr frame.MACAddr) *staEntry {
 	return e
 }
 
+// sendAuthReply enqueues one authentication response from a pooled TX slot;
+// the body marshals with AppendAuth straight into the reused buffer.
+func (ap *AP) sendAuthReply(dst frame.MACAddr, algo, seq, status uint16, challenge []byte) {
+	a := frame.Auth{Algorithm: algo, SeqNum: seq, Status: status, Challenge: challenge}
+	slot := ap.tx.slot()
+	slot.body = frame.AppendAuth(slot.body[:0], &a)
+	slot.f = frame.Frame{
+		Type: frame.TypeManagement, Subtype: frame.SubtypeAuth,
+		Addr1: dst, Addr2: ap.BSSID(), Addr3: ap.BSSID(),
+		Body: slot.body,
+	}
+	if ap.dcf.Enqueue(&slot.f) {
+		ap.tx.commit()
+	}
+}
+
 func (ap *AP) handleAuth(f *frame.Frame) {
 	e := ap.entry(f.Addr2)
 	reply := func(algo, seq, status uint16, challenge []byte) {
-		out := frame.NewMgmt(frame.SubtypeAuth, f.Addr2, ap.BSSID(), ap.BSSID(),
-			frame.MarshalAuth(&frame.Auth{Algorithm: algo, SeqNum: seq, Status: status, Challenge: challenge}))
-		ap.dcf.Enqueue(out)
+		ap.sendAuthReply(f.Addr2, algo, seq, status, challenge)
 	}
 	// Shared-key sequence 3 arrives WEP-sealed: decrypt before parsing.
 	body := f.Body
@@ -480,13 +513,21 @@ func (ap *AP) handleAssoc(f *frame.Frame) {
 			ap.port.Send(ether.Frame{Dst: frame.Broadcast, Src: f.Addr2, Payload: nil})
 		}
 	}
-	resp := frame.NewMgmt(frame.SubtypeAssocResp, f.Addr2, ap.BSSID(), ap.BSSID(),
-		frame.MarshalAssocResp(&frame.AssocResp{
-			Capability: frame.CapESS, Status: status, AID: e.aid, Rates: ap.rates,
-		}))
-	ap.dcf.Enqueue(resp)
-	ap.Tracer.Trace(trace.Event{At: ap.k.Now(), Node: ap.ssid, Kind: trace.KindMgmt,
-		Detail: fmt.Sprintf("assoc %v aid=%d status=%d", f.Addr2, e.aid, status)})
+	resp := frame.AssocResp{Capability: frame.CapESS, Status: status, AID: e.aid, Rates: ap.rates}
+	slot := ap.tx.slot()
+	slot.body = frame.AppendAssocResp(slot.body[:0], &resp)
+	slot.f = frame.Frame{
+		Type: frame.TypeManagement, Subtype: frame.SubtypeAssocResp,
+		Addr1: f.Addr2, Addr2: ap.BSSID(), Addr3: ap.BSSID(),
+		Body: slot.body,
+	}
+	if ap.dcf.Enqueue(&slot.f) {
+		ap.tx.commit()
+	}
+	if ap.tracing() {
+		ap.Tracer.Trace(trace.Event{At: ap.k.Now(), Node: ap.ssid, Kind: trace.KindMgmt,
+			Detail: fmt.Sprintf("assoc %v aid=%d status=%d", f.Addr2, e.aid, status)})
+	}
 }
 
 func (ap *AP) handleData(f *frame.Frame) {
@@ -549,8 +590,10 @@ func (ap *AP) setPS(e *staEntry, ps bool) {
 		return
 	}
 	e.ps = ps
-	ap.Tracer.Trace(trace.Event{At: ap.k.Now(), Node: ap.ssid, Kind: trace.KindPS,
-		Detail: fmt.Sprintf("%v ps=%v", e.addr, ps)})
+	if ap.tracing() {
+		ap.Tracer.Trace(trace.Event{At: ap.k.Now(), Node: ap.ssid, Kind: trace.KindPS,
+			Detail: fmt.Sprintf("%v ps=%v", e.addr, ps)})
+	}
 	if !ps {
 		for _, f := range e.psBuf {
 			ap.dcf.Enqueue(f)

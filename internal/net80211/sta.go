@@ -122,7 +122,12 @@ type STA struct {
 	// scratch. Both make steady-state traffic allocation-free.
 	tx      *txPool
 	wepOpen []byte
-	psWake  sim.Timer // pending pre-beacon wakeup
+	// ssidBytes and rates are the SSID and supported-rates IE payloads,
+	// fixed at construction; management frames append them into pooled TX
+	// bodies so scanning and (re)joining marshal nothing on the heap.
+	ssidBytes []byte
+	rates     []byte
+	psWake    sim.Timer // pending pre-beacon wakeup
 	// beaconInt is the serving AP's beacon interval, learned from beacons.
 	beaconInt sim.Duration
 	// psAwaitSeq tokens the outstanding PS-Poll data wait: the station
@@ -167,6 +172,8 @@ func NewSTA(k *sim.Kernel, dcf *mac.DCF, cfg STAConfig) *STA {
 		cfg:       cfg,
 		cands:     make(map[frame.MACAddr]*candidate),
 		tx:        newTxPool(dcf.QueueCap()),
+		ssidBytes: []byte(cfg.SSID),
+		rates:     []byte{frame.RateByte(2, true)},
 		beaconInt: 100 * TU,
 		Tracer:    trace.Nop{},
 	}
@@ -188,6 +195,12 @@ func (s *STA) Associated() bool { return s.state == staAssociated }
 func (s *STA) BSSID() frame.MACAddr { return s.bssid }
 
 func (s *STA) privacy() bool { return len(s.cfg.WEPKey) > 0 }
+
+// tracing reports whether a real tracer is attached; see (*AP).tracing.
+func (s *STA) tracing() bool {
+	_, nop := s.Tracer.(trace.Nop)
+	return !nop
+}
 
 // Send transmits an application payload to dst through the serving AP. It
 // returns false when unassociated or the queue is full. The outgoing frame
@@ -268,13 +281,20 @@ func (s *STA) scanStep() {
 }
 
 // sendProbeReq broadcasts a directed probe request on the current channel.
+// The body is two cached IE payloads appended into a pooled TX body, so an
+// active scan sweep allocates nothing per probe.
 func (s *STA) sendProbeReq() {
-	body := frame.MarshalIEs([]frame.IE{
-		{ID: frame.IESSID, Data: []byte(s.cfg.SSID)},
-		{ID: frame.IESupportedRates, Data: []byte{frame.RateByte(2, true)}},
-	})
-	f := frame.NewMgmt(frame.SubtypeProbeReq, frame.Broadcast, s.Address(), frame.Broadcast, body)
-	s.dcf.Enqueue(f)
+	slot := s.tx.slot()
+	body := frame.AppendIE(slot.body[:0], frame.IESSID, s.ssidBytes)
+	slot.body = frame.AppendIE(body, frame.IESupportedRates, s.rates)
+	slot.f = frame.Frame{
+		Type: frame.TypeManagement, Subtype: frame.SubtypeProbeReq,
+		Addr1: frame.Broadcast, Addr2: s.Address(), Addr3: frame.Broadcast,
+		Body: slot.body,
+	}
+	if s.dcf.Enqueue(&slot.f) {
+		s.tx.commit()
+	}
 }
 
 func (s *STA) finishScan() {
@@ -323,22 +343,38 @@ func (s *STA) sendAuth1() {
 	if s.privacy() {
 		algo = frame.AuthAlgoSharedKey
 	}
-	f := frame.NewMgmt(frame.SubtypeAuth, s.bssid, s.Address(), s.bssid,
-		frame.MarshalAuth(&frame.Auth{Algorithm: algo, SeqNum: 1}))
-	s.dcf.Enqueue(f)
+	a := frame.Auth{Algorithm: algo, SeqNum: 1}
+	slot := s.tx.slot()
+	slot.body = frame.AppendAuth(slot.body[:0], &a)
+	slot.f = frame.Frame{
+		Type: frame.TypeManagement, Subtype: frame.SubtypeAuth,
+		Addr1: s.bssid, Addr2: s.Address(), Addr3: s.bssid,
+		Body: slot.body,
+	}
+	if s.dcf.Enqueue(&slot.f) {
+		s.tx.commit()
+	}
 	s.armMgmtTimer(s.sendAuth1)
 }
 
 func (s *STA) sendAssocReq() {
 	s.state = staAssociating
-	req := &frame.AssocReq{
+	req := frame.AssocReq{
 		Capability: frame.CapESS,
 		ListenIntv: 10,
 		SSID:       s.cfg.SSID,
-		Rates:      []byte{frame.RateByte(2, true)},
+		Rates:      s.rates,
 	}
-	f := frame.NewMgmt(frame.SubtypeAssocReq, s.bssid, s.Address(), s.bssid, frame.MarshalAssocReq(req))
-	s.dcf.Enqueue(f)
+	slot := s.tx.slot()
+	slot.body = frame.AppendAssocReq(slot.body[:0], &req)
+	slot.f = frame.Frame{
+		Type: frame.TypeManagement, Subtype: frame.SubtypeAssocReq,
+		Addr1: s.bssid, Addr2: s.Address(), Addr3: s.bssid,
+		Body: slot.body,
+	}
+	if s.dcf.Enqueue(&slot.f) {
+		s.tx.commit()
+	}
 	s.armMgmtTimer(s.sendAssocReq)
 }
 
@@ -451,10 +487,11 @@ func (s *STA) maybeRoam() {
 			continue
 		}
 		if units.DBm(c.rssi) > units.DBm(s.servRSSI).Add(s.cfg.RoamHysteresis) {
-			old := s.bssid
 			s.Stats.Roams++
-			s.Tracer.Trace(trace.Event{At: s.k.Now(), Node: s.name(), Kind: trace.KindRoam,
-				Detail: fmt.Sprintf("%v -> %v (%.1f -> %.1f dBm)", old, c.bssid, s.servRSSI, c.rssi)})
+			if s.tracing() {
+				s.Tracer.Trace(trace.Event{At: s.k.Now(), Node: s.name(), Kind: trace.KindRoam,
+					Detail: fmt.Sprintf("%v -> %v (%.1f -> %.1f dBm)", s.bssid, c.bssid, s.servRSSI, c.rssi)})
+			}
 			s.join(c)
 			return
 		}
@@ -475,17 +512,25 @@ func (s *STA) handleAuth(f *frame.Frame) {
 		s.k.Cancel(s.mgmtTimer)
 		s.sendAssocReq()
 	case a.SeqNum == 2 && a.Status == frame.StatusSuccess && a.Algorithm == frame.AuthAlgoSharedKey:
-		// Return the challenge WEP-sealed (sequence 3).
-		body := frame.MarshalAuth(&frame.Auth{
-			Algorithm: frame.AuthAlgoSharedKey, SeqNum: 3, Challenge: a.Challenge,
-		})
-		sealed, err := wep.Seal(s.cfg.WEPKey, s.ivs.Next(), s.cfg.WEPKeyID, body)
+		// Return the challenge WEP-sealed (sequence 3): marshal into the
+		// plaintext scratch, seal in one pass into a pooled TX body.
+		seq3 := frame.Auth{Algorithm: frame.AuthAlgoSharedKey, SeqNum: 3, Challenge: a.Challenge}
+		s.tx.snap = frame.AppendAuth(s.tx.snap[:0], &seq3)
+		slot := s.tx.slot()
+		sealed, err := wep.SealTo(slot.body[:0], s.cfg.WEPKey, s.ivs.Next(), s.cfg.WEPKeyID, s.tx.snap)
 		if err != nil {
 			return
 		}
-		out := frame.NewMgmt(frame.SubtypeAuth, s.bssid, s.Address(), s.bssid, sealed)
-		out.Protected = true
-		s.dcf.Enqueue(out)
+		slot.body = sealed
+		slot.f = frame.Frame{
+			Type: frame.TypeManagement, Subtype: frame.SubtypeAuth,
+			Addr1: s.bssid, Addr2: s.Address(), Addr3: s.bssid,
+			Body:      slot.body,
+			Protected: true,
+		}
+		if s.dcf.Enqueue(&slot.f) {
+			s.tx.commit()
+		}
 		s.armMgmtTimer(s.sendAuth1)
 	case a.SeqNum == 4 && a.Status == frame.StatusSuccess:
 		s.mgmtTries = 0
@@ -513,8 +558,10 @@ func (s *STA) handleAssocResp(f *frame.Frame) {
 	s.state = staAssociated
 	s.missed = 0
 	s.Stats.Associations++
-	s.Tracer.Trace(trace.Event{At: s.k.Now(), Node: s.name(), Kind: trace.KindMgmt,
-		Detail: fmt.Sprintf("associated to %v aid=%d", s.bssid, s.aid)})
+	if s.tracing() {
+		s.Tracer.Trace(trace.Event{At: s.k.Now(), Node: s.name(), Kind: trace.KindMgmt,
+			Detail: fmt.Sprintf("associated to %v aid=%d", s.bssid, s.aid)})
+	}
 	s.watchBeacons()
 	if s.cfg.PowerSave {
 		s.enterPS()
