@@ -7,7 +7,7 @@
 //
 //	wlanbench [-ids F1,F2] [-runs 3] [-full] [-workers N] [-shards N] \
 //	          [-clusteragents N | -agents h1:p,h2:p] \
-//	          [-baseline old.json] [-out BENCH_PR6.json]
+//	          [-baseline old.json] [-out BENCH_PR7.json]
 //
 // With -baseline, the report embeds the older report and per-experiment
 // speedup factors, which is how BENCH_PR1.json records the pre-PR seed
@@ -30,6 +30,19 @@
 // is disabled for this measurement so the numbers reflect the agent fleet
 // alone — that is what makes the 1/2/4-agent scaling table in
 // PERFORMANCE.md comparable.
+//
+// With -failevents report.json, each experiment's events/s must stay above
+// -eventsslack (default 0.6) of the recorded value — a floor against
+// throughput collapses, deliberately slack because wall-clock throughput is
+// noisy where allocs/op are exact.
+//
+// With -soak duration, the command is a stability gate instead of a bench:
+// one fixed-seed saturated scenario runs in virtual-time chunks until the
+// wall deadline, with runtime.MemStats sampled at every chunk boundary. The
+// gate fails unless steady-state chunks stay at 0 allocs/op (a small budget
+// absorbs one-off pool growth) and the Go heap footprint stays flat — the
+// "multi-billion events with flat RSS" precondition for a long-lived sweep
+// service.
 //
 // With -chaos seed, the command is a durability gate instead of a bench:
 // each experiment's cluster sweep runs with every loopback agent behind
@@ -132,12 +145,19 @@ func main() {
 	baseline := flag.String("baseline", "", "older report to embed and compare against")
 	chaosSeed := flag.Int64("chaos", 0, "chaos mode: run each experiment's cluster sweep under the seeded faultnet injector and assert byte-identity with sequential (0 = off)")
 	ckpt := flag.String("checkpoint", "", "journal the cluster measurement's verified chunks to this file (per-experiment suffix added) and resume on restart")
-	out := flag.String("out", "BENCH_PR6.json", "output path (- for stdout)")
+	out := flag.String("out", "BENCH_PR7.json", "output path (- for stdout)")
 	note := flag.String("note", "", "free-form measurement note recorded in the report (';'-separated)")
 	failAllocs := flag.String("failallocs", "", "report whose per-experiment allocs/op are a hard ceiling: exit non-zero on any increase (allocs are deterministic, unlike wall times)")
+	failEvents := flag.String("failevents", "", "report whose per-experiment events/s are a regression floor: exit non-zero when throughput drops below -eventsslack of the recorded value")
+	eventsSlack := flag.Float64("eventsslack", 0.6, "fraction of the -failevents floor that must be met (wall throughput is noisy; the floor catches collapses, not jitter)")
+	soak := flag.Duration("soak", 0, "soak mode: run a fixed-seed saturated scenario for this wall duration, sampling MemStats to assert 0 allocs/op steady state and flat RSS")
 	flag.Parse()
 
 	harness.Workers = *workers
+
+	if *soak > 0 {
+		os.Exit(runSoak(*soak))
+	}
 
 	if *agentAddr != "" {
 		// Agent mode for the cluster measurement: same protocol as
@@ -212,6 +232,10 @@ func main() {
 	if *failAllocs != "" {
 		ceiling = readReport(*failAllocs)
 	}
+	var floor *Report
+	if *failEvents != "" {
+		floor = readReport(*failEvents)
+	}
 
 	var runner *sweep.Runner
 	if *shards > 1 {
@@ -268,6 +292,7 @@ func main() {
 	}
 
 	allocsRegressed := false
+	eventsRegressed := false
 	for _, e := range exps {
 		r := measure(e, *runs, !*full)
 		if runner != nil {
@@ -306,6 +331,24 @@ func main() {
 					r.ID, *failAllocs)
 			}
 		}
+		if floor != nil {
+			matched := false
+			for _, f := range floor.Experiments {
+				if f.ID != r.ID || f.EventsPerSec <= 0 {
+					continue
+				}
+				matched = true
+				if min := f.EventsPerSec * *eventsSlack; r.EventsPerSec < min {
+					eventsRegressed = true
+					fmt.Fprintf(os.Stderr, "wlanbench: %s events/s regressed: %.0f < %.0f (%.0f%% of floor %s)\n",
+						r.ID, r.EventsPerSec, min, *eventsSlack*100, *failEvents)
+				}
+			}
+			if !matched {
+				fmt.Fprintf(os.Stderr, "wlanbench: warning: %s has no events/s floor in %s — unenforced until that report is regenerated\n",
+					r.ID, *failEvents)
+			}
+		}
 		if base != nil {
 			for _, b := range base.Experiments {
 				if b.ID == r.ID && r.NsPerOp > 0 && b.NsPerOp > 0 {
@@ -340,7 +383,7 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		if allocsRegressed {
+		if allocsRegressed || eventsRegressed {
 			os.Exit(1)
 		}
 		return
@@ -349,7 +392,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wlanbench: %v\n", err)
 		os.Exit(1)
 	}
-	if allocsRegressed {
+	if allocsRegressed || eventsRegressed {
 		os.Exit(1)
 	}
 }

@@ -85,11 +85,14 @@ type transmission struct {
 }
 
 // linkCacheEntry caches the propagation physics of one directed static
-// radio pair: received power (excluding fast fading) and propagation delay.
+// radio pair: received power (excluding fast fading), its linear-milliwatt
+// conversion (a math.Pow otherwise re-done per arrival), and propagation
+// delay.
 type linkCacheEntry struct {
-	power units.DBm
-	delay sim.Duration
-	known bool
+	power   units.DBm
+	powerMW float64
+	delay   sim.Duration
+	known   bool
 }
 
 // Medium couples radios to the propagation model.
@@ -268,7 +271,7 @@ func (m *Medium) neighborCandidates(r *Radio, t *transmission) []*Radio {
 			list = append(list, rx)
 			continue
 		}
-		power, _ := m.linkPhysics(r, rx, t)
+		power, _, _ := m.linkPhysics(r, rx, t)
 		if float64(power) >= float64(rx.noiseFloor)-m.DetectionMarginDB {
 			list = append(list, rx)
 		}
@@ -358,7 +361,9 @@ func (m *Medium) Radios() []*Radio { return m.radios }
 // values reproduce the uncached computation bit-for-bit: the cache stores
 // txPower-loss+shadow with the same operation order RxPower uses, and fast
 // fading (when present) is re-applied per transmission.
-func (m *Medium) linkPhysics(r, rx *Radio, t *transmission) (units.DBm, sim.Duration) {
+// The second return is the cached linear-milliwatt power, or -1 when the
+// caller must convert (fast fading applied, or the link is uncacheable).
+func (m *Medium) linkPhysics(r, rx *Radio, t *transmission) (units.DBm, float64, sim.Duration) {
 	linkID := uint64(r.id)<<20 | uint64(rx.id)
 	lc := &m.links[r.id*len(m.radios)+rx.id]
 	if !lc.known {
@@ -367,19 +372,20 @@ func (m *Medium) linkPhysics(r, rx *Radio, t *transmission) (units.DBm, sim.Dura
 			base := r.txPower.Add(-m.model.PathLoss.Loss(t.txPos, rxPos)).Add(m.model.Shadow.Gain(linkID, t.start))
 			d := t.txPos.Distance(rxPos)
 			lc.power = base
+			lc.powerMW = linearOrZero(base)
 			lc.delay = sim.Duration(d / units.SpeedOfLight * float64(sim.Second))
 			lc.known = true
 		} else {
 			power := m.model.RxPower(r.txPower, t.txPos, rxPos, linkID, t.start)
 			d := t.txPos.Distance(rxPos)
-			return power, sim.Duration(d / units.SpeedOfLight * float64(sim.Second))
+			return power, -1, sim.Duration(d / units.SpeedOfLight * float64(sim.Second))
 		}
 	}
-	power := lc.power
 	if !m.noFast {
-		power = power.Add(m.model.Fast.Gain(linkID, t.start))
+		power := lc.power.Add(m.model.Fast.Gain(linkID, t.start))
+		return power, -1, lc.delay
 	}
-	return power, lc.delay
+	return lc.power, lc.powerMW, lc.delay
 }
 
 // transmit puts a wire image on the air from radio r.
@@ -415,7 +421,7 @@ func (m *Medium) transmit(r *Radio, f *frame.Frame, rate phy.RateIdx) sim.Durati
 		if rx == r || rx.channel != r.channel {
 			continue
 		}
-		power, delay := m.linkPhysics(r, rx, t)
+		power, powerMW, delay := m.linkPhysics(r, rx, t)
 		// Ignore arrivals far below the receiver's noise floor: they are
 		// irrelevant both as signal and as interference.
 		if float64(power) < float64(rx.noiseFloor)-m.DetectionMarginDB {
@@ -424,11 +430,14 @@ func (m *Medium) transmit(r *Radio, f *frame.Frame, rate phy.RateIdx) sim.Durati
 		if !m.PropagationDelay {
 			delay = 0
 		}
+		if powerMW < 0 {
+			powerMW = linearOrZero(power)
+		}
 		arr := m.getArrival()
 		arr.t = t
 		arr.rx = rx
 		arr.power = power
-		arr.powerMW = linearOrZero(power)
+		arr.powerMW = powerMW
 		t.refs++
 		m.kernel.ScheduleArg(delay, rx.nameRxStart, arrivalStartFn, arr)
 		m.kernel.ScheduleArg(delay+airtime, rx.nameRxEnd, arrivalEndFn, arr)

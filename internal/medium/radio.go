@@ -168,6 +168,10 @@ type Radio struct {
 	// chunkCache memoizes the PHY error model: static topologies hit the
 	// same (mode, rate, SINR, bits) tuples on every frame.
 	chunkCache [chunkCacheSize]chunkCacheEntry
+	// dbCache memoizes the linear→dB conversion of the per-frame minimum
+	// SINR: static topologies see the same handful of SINR levels on every
+	// frame, and log10 is pure, so caching cannot perturb results.
+	dbCache [dbCacheSize]dbCacheEntry
 
 	sleepStart sim.Time
 	Stats      RadioStats
@@ -463,6 +467,28 @@ func (r *Radio) chunkSuccess(mode *phy.Mode, rate phy.RateIdx, sinr float64, bit
 	return v
 }
 
+// dbCacheSize is the direct-mapped linear→dB memo size (power of two).
+const dbCacheSize = 16
+
+// dbCacheEntry memoizes one DBFromLinear evaluation.
+type dbCacheEntry struct {
+	lin float64
+	db  units.DB
+	ok  bool
+}
+
+// dbFromLinear is a memoized units.DBFromLinear.
+func (r *Radio) dbFromLinear(lin float64) units.DB {
+	h := math.Float64bits(lin) % dbCacheSize
+	e := &r.dbCache[h]
+	if e.ok && e.lin == lin {
+		return e.db
+	}
+	v := units.DBFromLinear(lin)
+	*e = dbCacheEntry{lin: lin, db: v, ok: true}
+	return v
+}
+
 // finishLock folds the final span, evaluates the locked frame's fate from
 // the accumulated per-span products, and notifies the listener.
 func (r *Radio) finishLock(a *arrival) {
@@ -474,7 +500,7 @@ func (r *Radio) finishLock(a *arrival) {
 	// one conversion of the minimum matches converting every span.
 	minSINR := units.DB(1000)
 	if !math.IsInf(r.seg.minLin, 1) {
-		if db := units.DBFromLinear(r.seg.minLin); db < minSINR {
+		if db := r.dbFromLinear(r.seg.minLin); db < minSINR {
 			minSINR = db
 		}
 	}

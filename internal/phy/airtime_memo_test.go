@@ -1,0 +1,139 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// memoModes returns every mode in both preamble variants — the full set of
+// framing parameter combinations the memo tables key on.
+func memoModes() []*Mode {
+	var ms []*Mode
+	for _, mk := range []func() *Mode{Mode80211, Mode80211a, Mode80211b, Mode80211g} {
+		long := mk()
+		ms = append(ms, long)
+		short := mk()
+		short.UseShortPreamble()
+		ms = append(ms, short)
+	}
+	return ms
+}
+
+// TestAirtimeMemoEquivalence exhaustively compares the memoized Airtime path
+// against the direct computation for every (mode, preamble, rate) across the
+// full legal MPDU range. The memo must be invisible: bit-identical durations
+// everywhere.
+func TestAirtimeMemoEquivalence(t *testing.T) {
+	for _, m := range memoModes() {
+		for ri := RateIdx(0); int(ri) < len(m.Rates); ri++ {
+			for n := 0; n <= memoMaxMPDU; n++ {
+				got := m.Airtime(ri, n) // memoized (resolves the table on first call)
+				want := m.computeAirtime(ri, n)
+				if got != want {
+					t.Fatalf("%s pre=%d rate=%d len=%d: memo %v != computed %v",
+						m.Name, m.Preamble, ri, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Oversized MPDUs must fall back to the computed path, continuously with the
+// table boundary.
+func TestAirtimeMemoFallback(t *testing.T) {
+	for _, m := range memoModes() {
+		for _, n := range []int{memoMaxMPDU, memoMaxMPDU + 1, 4096, 65535} {
+			got := m.Airtime(m.MaxRate(), n)
+			want := m.computeAirtime(m.MaxRate(), n)
+			if got != want {
+				t.Fatalf("%s len=%d: fallback %v != computed %v", m.Name, n, got, want)
+			}
+		}
+		if a, b := m.Airtime(0, memoMaxMPDU), m.Airtime(0, memoMaxMPDU+1); a > b {
+			t.Fatalf("%s: airtime not monotone across the table boundary: %v then %v", m.Name, a, b)
+		}
+	}
+}
+
+// Out-of-range rate indices clamp identically on the memo and computed paths.
+func TestAirtimeMemoClamping(t *testing.T) {
+	m := Mode80211b()
+	if got, want := m.Airtime(-3, 100), m.Airtime(0, 100); got != want {
+		t.Fatalf("negative rate index: %v, want clamp to %v", got, want)
+	}
+	if got, want := m.Airtime(RateIdx(len(m.Rates)+5), 100), m.Airtime(m.MaxRate(), 100); got != want {
+		t.Fatalf("oversized rate index: %v, want clamp to %v", got, want)
+	}
+}
+
+// Switching the preamble after the table is resolved must re-resolve: the
+// 802.11b short preamble shaves 96 µs off every frame.
+func TestAirtimeMemoPreambleSwitch(t *testing.T) {
+	m := Mode80211b()
+	long := m.Airtime(0, 500) // resolves the long-preamble table
+	m.UseShortPreamble()
+	short := m.Airtime(0, 500)
+	if short != long-96*sim.Microsecond {
+		t.Fatalf("short preamble airtime %v, want %v", short, long-96*sim.Microsecond)
+	}
+	if got := m.computeAirtime(0, 500); short != got {
+		t.Fatalf("post-switch memo %v != computed %v", short, got)
+	}
+}
+
+// Two modes with identical framing parameters must share one process-wide
+// table — the point of the shared memo is that per-scenario Mode values stop
+// allocating their own.
+func TestAirtimeMemoTableShared(t *testing.T) {
+	a, b := Mode80211g(), Mode80211g()
+	a.Airtime(0, 0)
+	b.Airtime(0, 0)
+	if a.memo.table == nil || b.memo.table == nil {
+		t.Fatal("memo table not resolved")
+	}
+	if &a.memo.table[0] != &b.memo.table[0] {
+		t.Fatal("identical modes resolved distinct airtime tables")
+	}
+}
+
+// The memoized hot path must not allocate: one table resolution up front,
+// then pure index arithmetic forever.
+func TestAirtimeMemoZeroAlloc(t *testing.T) {
+	for _, m := range memoModes() {
+		m.Airtime(0, 0) // warm: resolve the shared table
+		n := 0
+		allocs := testing.AllocsPerRun(1000, func() {
+			m.Airtime(RateIdx(n%len(m.Rates)), n%memoMaxMPDU)
+			n++
+		})
+		if allocs != 0 {
+			t.Fatalf("%s pre=%d: memoized Airtime allocates %v/op, want 0", m.Name, m.Preamble, allocs)
+		}
+	}
+}
+
+// BenchmarkAirtimeMemo pins the memoized hot path: 0 allocs/op.
+func BenchmarkAirtimeMemo(b *testing.B) {
+	m := Mode80211g()
+	m.Airtime(0, 0)
+	b.ReportAllocs()
+	var sink sim.Duration
+	for i := 0; i < b.N; i++ {
+		sink += m.Airtime(RateIdx(i&7), i&2047)
+	}
+	benchSink = int64(sink)
+}
+
+// BenchmarkAirtimeCompute is the unmemoized reference for comparison.
+func BenchmarkAirtimeCompute(b *testing.B) {
+	m := Mode80211g()
+	b.ReportAllocs()
+	var sink sim.Duration
+	for i := 0; i < b.N; i++ {
+		sink += m.computeAirtime(RateIdx(i&7), i&2047)
+	}
+	benchSink = int64(sink)
+}
+
+var benchSink int64

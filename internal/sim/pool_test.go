@@ -80,8 +80,8 @@ func TestCancelledEventsReaped(t *testing.T) {
 	if k.Pending() != 0 {
 		t.Fatalf("Pending = %d after cancelling everything, want 0", k.Pending())
 	}
-	if len(k.queue) > 520 {
-		t.Fatalf("queue still holds %d events after mass cancel, want reaped (<= half)", len(k.queue))
+	if len(k.heap) > 520 {
+		t.Fatalf("queue still holds %d events after mass cancel, want reaped (<= half)", len(k.heap))
 	}
 	k.Run()
 	if k.Processed() != 0 {

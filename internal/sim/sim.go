@@ -6,14 +6,33 @@
 //
 // The kernel is built for throughput: Event objects are recycled through a
 // free list (steady-state scheduling performs zero allocations), the queue
-// is an inlined 4-ary heap specialized to *Event, and cancelled events are
+// is a struct-of-arrays 4-ary heap — sift operations move only flat
+// (at, seq, slot) keys, never *Event pointers, so they touch a fraction of
+// the cache lines and incur no GC write barriers — and cancelled events are
 // reaped lazily in bulk once they outnumber half the queue. Callers hold
 // generation-checked Timer handles, so a recycled Event can never be
 // cancelled by a stale handle.
+//
+// # Cohort drain ordering contract
+//
+// The run loop drains same-timestamp event cohorts in batches: when the
+// earliest pending timestamp is T, every event queued at T is extracted
+// from the heap in one fix-up pass and executed in (at, seq) order — i.e.
+// schedule order, exactly the order the one-pop-per-event loop delivered.
+// The clock never advances past T until the cohort (including any events a
+// cohort callback schedules at T, which join with later seq) is fully
+// delivered. Cancelling an already-drained cohort event from within an
+// earlier cohort event still suppresses it, and a cancel-then-reschedule
+// at the same tick delivers exactly once (the rescheduled event). Timer
+// handles observe drained-but-unexecuted events as still Scheduled, again
+// matching the per-pop loop, where the window between pop and execution
+// was unobservable.
 package sim
 
 import (
 	"fmt"
+	"math"
+	"slices"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
@@ -66,7 +85,8 @@ func (d Duration) String() string {
 type Event struct {
 	at     Time
 	seq    uint64 // tie-break: schedule order
-	index  int32  // heap position, -1 when not queued
+	slot   int32  // permanent index into Kernel.slots; heap keys carry it
+	loc    int8   // where the event lives: free list, heap, or cohort
 	gen    uint32 // bumped on each recycle; Timer handles carry a copy
 	fn     func()
 	argFn  func(any) // static-dispatch alternative to fn; arg carries state
@@ -74,6 +94,14 @@ type Event struct {
 	name   string
 	cancel bool
 }
+
+// Event locations. The heap does not track exact positions — sifts move
+// only keys — so the kernel records which structure owns each event.
+const (
+	locFree   int8 = iota // on the free list, or executed and detached
+	locHeap               // queued in the heap
+	locCohort             // drained into the current same-timestamp cohort
+)
 
 // Timer is a cancellable handle to a scheduled event. The zero value is an
 // inert handle: Scheduled reports false and Cancel is a no-op. Handles stay
@@ -93,13 +121,26 @@ func (t Timer) At() Time {
 	return t.e.at
 }
 
-// Scheduled reports whether the event is still pending.
+// Scheduled reports whether the event is still pending. An event drained
+// into the current cohort but not yet executed is still pending: the
+// per-pop loop this kernel replaced had no observable window between pop
+// and execution, so the cohort window must not be observable either.
 func (t Timer) Scheduled() bool {
-	return t.e != nil && t.e.gen == t.gen && t.e.index >= 0 && !t.e.cancel
+	return t.e != nil && t.e.gen == t.gen && t.e.loc != locFree && !t.e.cancel
 }
 
-// eventLess orders events by (time, schedule order).
-func eventLess(a, b *Event) bool {
+// heapKey is one struct-of-arrays heap element: the (at, seq) ordering key
+// plus the slot of its payload Event. Sifts move only these flat 24-byte
+// keys — no pointers, so no GC write barriers, and a 4-child comparison
+// reads at most two contiguous cache lines instead of chasing four *Event.
+type heapKey struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+// keyLess orders heap keys by (time, schedule order).
+func keyLess(a, b heapKey) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -109,12 +150,23 @@ func eventLess(a, b *Event) bool {
 // Kernel is the simulation executive. The zero value is not usable;
 // construct with NewKernel.
 type Kernel struct {
-	now       Time
-	queue     []*Event // 4-ary min-heap on (at, seq)
-	free      []*Event // recycled events
-	seq       uint64
-	cancelled int // cancelled events still sitting in the queue
-	stopped   bool
+	now  Time
+	heap []heapKey // 4-ary min-heap on (at, seq); payloads stay in slots
+	// slots is the payload side of the struct-of-arrays heap: every Event
+	// this kernel ever created, at its permanent slot index. Events never
+	// move, so heap keys can name them with an int32.
+	slots []*Event
+	free  []int32 // recycled events, by slot id — no pointers, no barriers
+	seq   uint64
+	// cohort is the drained batch of same-timestamp heap keys, sorted by
+	// seq; cohortPos is the next key to execute. cohortCancelled counts
+	// unexecuted cohort events cancelled after the drain.
+	cohort          []heapKey
+	cohortPos       int
+	cohortCancelled int
+	crown           []int32 // scratch: heap indices of the cohort crown
+	cancelled       int     // cancelled events still sitting in the heap
+	stopped         bool
 	// Hooks for instrumentation; may be nil.
 	OnEvent func(at Time, name string)
 	// processed counts events executed, for diagnostics and tests.
@@ -132,33 +184,34 @@ func (k *Kernel) Now() Time { return k.now }
 // Processed returns the number of events executed so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
-// Pending returns the number of live (non-cancelled) events in the queue.
-func (k *Kernel) Pending() int { return len(k.queue) - k.cancelled }
+// Pending returns the number of live (non-cancelled) events in the queue,
+// including drained cohort events that have not executed yet.
+func (k *Kernel) Pending() int {
+	return len(k.heap) - k.cancelled + (len(k.cohort) - k.cohortPos - k.cohortCancelled)
+}
 
-// --- 4-ary heap ----------------------------------------------------------
+// --- struct-of-arrays 4-ary heap -----------------------------------------
 
 // up restores the heap property from position i toward the root.
 func (k *Kernel) up(i int) {
-	q := k.queue
-	e := q[i]
+	h := k.heap
+	key := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !eventLess(e, q[p]) {
+		if !keyLess(key, h[p]) {
 			break
 		}
-		q[i] = q[p]
-		q[i].index = int32(i)
+		h[i] = h[p]
 		i = p
 	}
-	q[i] = e
-	e.index = int32(i)
+	h[i] = key
 }
 
 // down restores the heap property from position i toward the leaves.
 func (k *Kernel) down(i int) {
-	q := k.queue
-	n := len(q)
-	e := q[i]
+	h := k.heap
+	n := len(h)
+	key := h[i]
 	for {
 		c := i<<2 + 1
 		if c >= n {
@@ -170,60 +223,44 @@ func (k *Kernel) down(i int) {
 			end = n
 		}
 		for j := c + 1; j < end; j++ {
-			if eventLess(q[j], q[m]) {
+			if keyLess(h[j], h[m]) {
 				m = j
 			}
 		}
-		if !eventLess(q[m], e) {
+		if !keyLess(h[m], key) {
 			break
 		}
-		q[i] = q[m]
-		q[i].index = int32(i)
+		h[i] = h[m]
 		i = m
 	}
-	q[i] = e
-	e.index = int32(i)
-}
-
-// pop removes and returns the earliest event.
-func (k *Kernel) pop() *Event {
-	q := k.queue
-	e := q[0]
-	n := len(q) - 1
-	last := q[n]
-	q[n] = nil
-	k.queue = q[:n]
-	if n > 0 {
-		k.queue[0] = last
-		last.index = 0
-		k.down(0)
-	}
-	e.index = -1
-	return e
+	h[i] = key
 }
 
 // --- event pool ----------------------------------------------------------
 
 func (k *Kernel) getEvent() *Event {
 	if n := len(k.free); n > 0 {
-		e := k.free[n-1]
+		e := k.slots[k.free[n-1]]
 		k.free = k.free[:n-1]
 		return e
 	}
-	return &Event{}
+	e := &Event{slot: int32(len(k.slots))}
+	k.slots = append(k.slots, e)
+	return e
 }
 
-// putEvent clears and recycles a detached event. Bumping gen invalidates
-// every Timer handle that still points at it.
+// putEvent recycles a detached event. Bumping gen invalidates every Timer
+// handle that still points at it. The callback fields are deliberately NOT
+// cleared — the next scheduleAt overwrites every one of them, and nilling
+// pointers here costs a GC write barrier per recycled event on the hottest
+// kernel path. A free-listed event may therefore briefly pin its last
+// callback and argument; both belong to the same scenario as the kernel,
+// so nothing outlives its owner.
 func (k *Kernel) putEvent(e *Event) {
 	e.gen++
-	e.fn = nil
-	e.argFn = nil
-	e.arg = nil
-	e.name = ""
 	e.cancel = false
-	e.index = -1
-	k.free = append(k.free, e)
+	e.loc = locFree
+	k.free = append(k.free, e.slot)
 }
 
 // --- scheduling ----------------------------------------------------------
@@ -240,10 +277,10 @@ func (k *Kernel) scheduleAt(at Time, name string, fn func(), argFn func(any), ar
 	e.argFn = argFn
 	e.arg = arg
 	e.name = name
+	e.loc = locHeap
 	k.seq++
-	e.index = int32(len(k.queue))
-	k.queue = append(k.queue, e)
-	k.up(len(k.queue) - 1)
+	k.heap = append(k.heap, heapKey{at: at, seq: e.seq, slot: e.slot})
+	k.up(len(k.heap) - 1)
 	return Timer{e: e, gen: e.gen}
 }
 
@@ -279,18 +316,26 @@ func (k *Kernel) ScheduleArgAt(at Time, name string, fn func(any), arg any) Time
 
 // Cancel marks an event so it will not fire. Cancelling zero, fired or
 // already-cancelled handles is a no-op. Cancelled events are reclaimed
-// lazily: immediately if popped, in bulk once they exceed half the queue.
+// lazily: on drain if still heaped, in bulk once they exceed half the
+// queue, or when the run loop reaches them in the current cohort.
 func (k *Kernel) Cancel(t Timer) {
 	e := t.e
-	if e == nil || e.gen != t.gen || e.index < 0 || e.cancel {
+	if e == nil || e.gen != t.gen || e.loc == locFree || e.cancel {
 		return
 	}
 	e.cancel = true
 	e.fn = nil
 	e.argFn = nil
 	e.arg = nil
+	if e.loc == locCohort {
+		// Already drained into the current same-timestamp cohort but not
+		// yet executed: the drain loop skips it. Tracked separately from
+		// heap accounting — it no longer occupies a heap slot.
+		k.cohortCancelled++
+		return
+	}
 	k.cancelled++
-	if k.cancelled > 16 && k.cancelled > len(k.queue)/2 {
+	if k.cancelled > 16 && k.cancelled > len(k.heap)/2 {
 		k.reapCancelled()
 	}
 }
@@ -299,23 +344,18 @@ func (k *Kernel) Cancel(t Timer) {
 // them. Heap layout among live events does not affect pop order — (at, seq)
 // is a strict total order — so rebuilding cannot perturb determinism.
 func (k *Kernel) reapCancelled() {
-	q := k.queue
-	live := q[:0]
-	for _, e := range q {
+	h := k.heap
+	live := h[:0]
+	for _, key := range h {
+		e := k.slots[key.slot]
 		if e.cancel {
 			k.cancelled--
 			k.putEvent(e)
 		} else {
-			live = append(live, e)
+			live = append(live, key)
 		}
 	}
-	for i := len(live); i < len(q); i++ {
-		q[i] = nil
-	}
-	k.queue = live
-	for i, e := range live {
-		e.index = int32(i)
-	}
+	k.heap = live
 	for i := (len(live) - 2) >> 2; i >= 0; i-- {
 		k.down(i)
 	}
@@ -324,40 +364,198 @@ func (k *Kernel) reapCancelled() {
 // Stop makes the current Run call return after the in-flight event finishes.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// step executes the single earliest event. It reports false when the queue
-// is empty.
-func (k *Kernel) step() bool {
-	for len(k.queue) > 0 {
-		e := k.pop()
+// maxTime is the far-future deadline Run uses to drain everything.
+const maxTime = Time(math.MaxInt64)
+
+// drainCohort extracts every heap key with timestamp at (the current
+// minimum) into the cohort buffer in one fix-up pass, sorted by seq.
+// Cancelled events encountered during extraction are recycled immediately.
+//
+// All keys equal to the minimum form a "crown": the heap property forces
+// every ancestor of an at-timestamp key to carry the same timestamp, so
+// the cohort is an upward-closed subtree containing the root. The crown is
+// collected by a BFS that prunes at the first later timestamp, the holes
+// are refilled from the heap tail, and heap order is repaired with a
+// single descending sift-down pass over the refilled positions — one
+// fix-up pass for the whole cohort instead of one root pop per event.
+func (k *Kernel) drainCohort(at Time) {
+	h := k.heap
+	k.crown = append(k.crown[:0], 0)
+	for p := 0; p < len(k.crown); p++ {
+		c := int(k.crown[p])<<2 + 1
+		end := c + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for ; c < end; c++ {
+			if h[c].at == at {
+				k.crown = append(k.crown, int32(c))
+			}
+		}
+	}
+
+	// Move crown keys into the cohort buffer (dropping cancelled events),
+	// then deliver in (at, seq) order — identical to per-event popping.
+	for _, i := range k.crown {
+		key := h[i]
+		e := k.slots[key.slot]
 		if e.cancel {
 			k.cancelled--
 			k.putEvent(e)
 			continue
 		}
-		if e.at < k.now {
-			panic("sim: queue yielded event in the past")
-		}
-		k.now = e.at
-		if k.OnEvent != nil {
-			k.OnEvent(e.at, e.name)
-		}
-		fn, argFn, arg := e.fn, e.argFn, e.arg
-		k.putEvent(e) // recycle before invoking: the callback may reschedule
-		k.processed++
-		if argFn != nil {
-			argFn(arg)
-		} else {
-			fn()
-		}
-		return true
+		e.loc = locCohort
+		k.cohort = append(k.cohort, key)
 	}
-	return false
+	// Cohort keys arrive in heap order; delivery order is ascending seq.
+	// Cohorts are a transmission fan-out — a few dozen keys at most — so a
+	// direct insertion sort beats the generic sort's dispatch overhead;
+	// pathological cohorts fall back to the library sort.
+	coh := k.cohort
+	if len(coh) <= 48 {
+		for i := 1; i < len(coh); i++ {
+			key := coh[i]
+			j := i - 1
+			for j >= 0 && coh[j].seq > key.seq {
+				coh[j+1] = coh[j]
+				j--
+			}
+			coh[j+1] = key
+		}
+	} else {
+		slices.SortFunc(coh, func(a, b heapKey) int {
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		})
+	}
+
+	// Compact: fill each hole below the new length from the heap tail,
+	// skipping tail positions that are themselves holes. The crown is
+	// already ascending: the BFS appends children 4p+1..4p+4 of crown
+	// entries whose own indices strictly increase, so each batch starts
+	// past the previous one — no sort needed.
+	n := len(h)
+	c := len(k.crown)
+	n2 := n - c
+	j := c - 1
+	last := n - 1
+	for _, hi := range k.crown {
+		hole := int(hi)
+		if hole >= n2 {
+			break
+		}
+		for j >= 0 && int(k.crown[j]) == last {
+			j--
+			last--
+		}
+		h[hole] = h[last]
+		last--
+	}
+	k.heap = h[:n2]
+
+	// Repair: descending order guarantees each sift-down sees valid
+	// subtrees below (holes are upward-closed, so a hole's children are
+	// either untouched heaps or already-repaired holes).
+	for i := c - 1; i >= 0; i-- {
+		if hole := int(k.crown[i]); hole < n2 {
+			k.down(hole)
+		}
+	}
+}
+
+// execute runs one live, drained event at key.at.
+func (k *Kernel) execute(key heapKey, e *Event) {
+	if key.at < k.now {
+		panic("sim: queue yielded event in the past")
+	}
+	k.now = key.at
+	if k.OnEvent != nil {
+		k.OnEvent(key.at, e.name)
+	}
+	fn, argFn, arg := e.fn, e.argFn, e.arg
+	k.putEvent(e) // recycle before invoking: the callback may reschedule
+	k.processed++
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
+}
+
+// drainStep executes the next runnable event at or before deadline,
+// refilling the cohort buffer from the heap as needed. It reports false
+// when nothing remains at or before the deadline.
+func (k *Kernel) drainStep(deadline Time) bool {
+	for {
+		for k.cohortPos < len(k.cohort) {
+			key := k.cohort[k.cohortPos]
+			if key.at > deadline {
+				return false
+			}
+			k.cohortPos++
+			e := k.slots[key.slot]
+			if e.cancel {
+				k.cohortCancelled--
+				k.putEvent(e)
+				continue
+			}
+			k.execute(key, e)
+			return true
+		}
+		if k.cohortPos > 0 {
+			k.cohort = k.cohort[:0]
+			k.cohortPos = 0
+			k.cohortCancelled = 0
+		}
+		h := k.heap
+		if len(h) == 0 {
+			return false
+		}
+		key := h[0]
+		if key.at > deadline {
+			return false
+		}
+		// Solo fast path: the heap property puts every same-timestamp event
+		// in an upward-closed crown, so if no child of the root shares its
+		// timestamp the cohort is exactly the root — pop it directly and
+		// skip the batch machinery.
+		solo := true
+		end := 5
+		if end > len(h) {
+			end = len(h)
+		}
+		for j := 1; j < end; j++ {
+			if h[j].at == key.at {
+				solo = false
+				break
+			}
+		}
+		if solo {
+			n := len(h) - 1
+			k.heap = h[:n]
+			if n > 0 {
+				h[0] = h[n]
+				k.down(0)
+			}
+			e := k.slots[key.slot]
+			if e.cancel {
+				k.cancelled--
+				k.putEvent(e)
+				continue
+			}
+			k.execute(key, e)
+			return true
+		}
+		k.drainCohort(key.at)
+	}
 }
 
 // Run executes events until the queue drains or Stop is called.
 func (k *Kernel) Run() {
 	k.stopped = false
-	for !k.stopped && k.step() {
+	for !k.stopped && k.drainStep(maxTime) {
 	}
 }
 
@@ -365,22 +563,7 @@ func (k *Kernel) Run() {
 // to the deadline (if it is in the future) and returns.
 func (k *Kernel) RunUntil(deadline Time) {
 	k.stopped = false
-	for !k.stopped {
-		if len(k.queue) == 0 {
-			break
-		}
-		// Peek.
-		next := k.queue[0]
-		if next.cancel {
-			e := k.pop()
-			k.cancelled--
-			k.putEvent(e)
-			continue
-		}
-		if next.at > deadline {
-			break
-		}
-		k.step()
+	for !k.stopped && k.drainStep(deadline) {
 	}
 	if k.now < deadline {
 		k.now = deadline

@@ -211,8 +211,14 @@ type FlowStats struct {
 	OutOfOrder uint64
 	Duplicates uint64
 	seen       map[uint64]bool
-	FirstRxAt  sim.Time
-	LastRxAt   sim.Time
+	// window/winMax are bounded-mode duplicate detection: a circular bitmap
+	// over the last seenWindow sequence numbers. Unlike the seen map it
+	// performs zero allocations and never rehashes, so a bounded sink's
+	// steady state is allocation-free.
+	window    []uint64
+	winMax    uint64
+	FirstRxAt sim.Time
+	LastRxAt  sim.Time
 	// MaxGap is the longest silence between consecutive arrivals —
 	// the outage metric for roaming experiments.
 	MaxGap sim.Duration
@@ -239,11 +245,25 @@ func (f *FlowStats) ThroughputBps() float64 {
 
 // Sink consumes delivered payloads and accumulates per-flow statistics.
 type Sink struct {
-	k     *sim.Kernel
-	flows map[uint32]*FlowStats
+	k       *sim.Kernel
+	flows   map[uint32]*FlowStats
+	bounded bool
 	// Unparsed counts payloads without a measurement header.
 	Unparsed uint64
 }
+
+// seenWindow is a bounded sink's duplicate-detection depth: sequence numbers
+// further than this behind the newest arrival are forgotten. MAC-layer
+// duplicates and reordering span at most the retry depth — a handful of
+// frames — so the window changes nothing at scenario scale.
+const seenWindow = 4096
+
+// Bound caps the sink's per-flow memory so indefinitely long runs hold a
+// flat RSS: duplicate detection degrades to a sliding window of the last
+// seenWindow sequence numbers and raw latency samples are not retained
+// (quantile queries read as empty; the streaming mean/variance stays exact).
+// Scenario-scale experiment runs leave this off and keep exact accounting.
+func (s *Sink) Bound() { s.bounded = true }
 
 // NewSink builds an empty sink.
 func NewSink(k *sim.Kernel) *Sink {
@@ -259,14 +279,26 @@ func (s *Sink) Deliver(payload []byte) {
 	}
 	f := s.flows[h.FlowID]
 	if f == nil {
-		f = &FlowStats{seen: make(map[uint64]bool), FirstRxAt: s.k.Now()}
+		f = &FlowStats{FirstRxAt: s.k.Now()}
+		if !s.bounded {
+			f.seen = make(map[uint64]bool)
+		} else {
+			f.window = make([]uint64, seenWindow/64)
+		}
 		s.flows[h.FlowID] = f
 	}
-	if f.seen[h.Seq] {
-		f.Duplicates++
-		return
+	if s.bounded {
+		if f.windowSeen(h.Seq) {
+			f.Duplicates++
+			return
+		}
+	} else {
+		if f.seen[h.Seq] {
+			f.Duplicates++
+			return
+		}
+		f.seen[h.Seq] = true
 	}
-	f.seen[h.Seq] = true
 	if h.Seq < f.MaxSeq {
 		f.OutOfOrder++
 	}
@@ -283,7 +315,46 @@ func (s *Sink) Deliver(payload []byte) {
 	f.LastRxAt = s.k.Now()
 	lat := s.k.Now().Sub(h.SentAt).Seconds()
 	f.Latency.Add(lat)
-	f.LatencyH.Add(lat)
+	if !s.bounded {
+		f.LatencyH.Add(lat)
+	}
+}
+
+// windowSeen is bounded-mode duplicate detection: test-and-set in a
+// circular bitmap covering the last seenWindow sequence numbers. Sequence
+// numbers that fall off the back of the window are forgotten and re-report
+// as new — exactly the eviction semantics a capped seen-set would have.
+// Advancing clears skipped slots one at a time, which is amortized O(1)
+// because generators emit consecutive sequence numbers.
+func (f *FlowStats) windowSeen(seq uint64) bool {
+	const w = seenWindow
+	word, bit := (seq%w)/64, uint64(1)<<(seq%64)
+	switch {
+	case f.Received == 0 || seq > f.winMax:
+		from := f.winMax + 1
+		if f.Received == 0 {
+			from = seq
+		}
+		if seq >= w-1 && from < seq-(w-1) {
+			from = seq - (w - 1)
+		}
+		for s := from; s < seq; s++ {
+			f.window[(s%w)/64] &^= 1 << (s % 64)
+		}
+		f.window[word] |= bit
+		f.winMax = seq
+		return false
+	case f.winMax-seq >= w:
+		// Older than the window remembers: report as new, like an evicted
+		// entry would.
+		return false
+	default:
+		if f.window[word]&bit != 0 {
+			return true
+		}
+		f.window[word] |= bit
+		return false
+	}
 }
 
 // Flow returns stats for a flow ID (nil if nothing arrived).
