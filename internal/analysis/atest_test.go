@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// moduleRoot is the repository root relative to this package's directory.
+const moduleRoot = "../.."
+
+// wantLine matches a // want comment; the remainder of the line holds one
+// or more quoted regular expressions, one per expected diagnostic.
+var wantLine = regexp.MustCompile(`// want (.*)$`)
+
+// quoted extracts the Go-quoted strings from a want comment tail.
+var quoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// loadFixturePkg loads testdata/<fixture> under a synthetic fixture/...
+// import path, so scope predicates keyed on the package base name see the
+// same base as the real tree.
+func loadFixturePkg(t *testing.T, fixture string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", filepath.FromSlash(fixture))
+	pkg, err := LoadFixture(moduleRoot, dir, "fixture/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	return pkg
+}
+
+// runFixture applies one analyzer to a testdata fixture and compares its
+// diagnostics against the fixture's // want comments: every want must be
+// matched by a diagnostic on its line, and every diagnostic must have a
+// matching want.
+func runFixture(t *testing.T, az *Analyzer, fixture string) {
+	t.Helper()
+	pkg := loadFixturePkg(t, fixture)
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{az})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", az.Name, fixture, err)
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := map[lineKey][]*expectation{}
+	for _, f := range pkg.Syntax {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := lineKey{name, i + 1}
+			for _, q := range quoted.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", name, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, pat, err)
+				}
+				wants[k] = append(wants[k], &expectation{re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+func TestRetainViewFixture(t *testing.T) {
+	runFixture(t, RetainView, "retainview/rxview")
+}
+
+func TestTxOwnershipFixture(t *testing.T) {
+	runFixture(t, TxOwnership, "txownership/txown")
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, Determinism, "determinism/sim")
+}
+
+func TestDeterminismIgnoresOtherPackages(t *testing.T) {
+	runFixture(t, Determinism, "determinism/notsim")
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	runFixture(t, HotPathAlloc, "hotpathalloc/hot")
+}
+
+// TestDirectiveTypos pins the directive-namespace validation: a misspelled
+// verb and a reason-less allow-nondeterminism are lint errors in any
+// package. The diagnostics land on the directive comments themselves,
+// where a // want comment cannot ride, so the expectations are explicit.
+func TestDirectiveTypos(t *testing.T) {
+	pkg := loadFixturePkg(t, "determinism/typo")
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`unknown //wlan: directive "hotpth"`,
+		"needs a justification",
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, w)
+		}
+	}
+}
+
+// TestFixturesCleanUnderOtherAnalyzers runs the full suite over every
+// fixture and checks that analyzers only fire inside their own fixture
+// trees — guarding against contract predicates bleeding into each other.
+func TestFixturesCleanUnderOtherAnalyzers(t *testing.T) {
+	fixtures := map[string]map[string]bool{
+		// fixture -> analyzers allowed to report there
+		"retainview/rxview":  {RetainView.Name: true},
+		"txownership/txown":  {TxOwnership.Name: true},
+		"determinism/sim":    {Determinism.Name: true},
+		"determinism/notsim": {},
+		"determinism/typo":   {Determinism.Name: true},
+		"hotpathalloc/hot":   {HotPathAlloc.Name: true},
+	}
+	for fixture, allowed := range fixtures {
+		pkg := loadFixturePkg(t, fixture)
+		diags, err := RunAnalyzers([]*Package{pkg}, All())
+		if err != nil {
+			t.Fatalf("%s: %v", fixture, err)
+		}
+		for _, d := range diags {
+			if !allowed[d.Analyzer] {
+				t.Errorf("%s: analyzer %s unexpectedly reported: %s", fixture, d.Analyzer, d.Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //wlan: directive namespace. Directives are machine-readable
+// comments, written without a space after // like //go: directives:
+//
+//	//wlan:hotpath
+//	    In a function's doc comment: the function is a steady-state hot
+//	    path and must not contain allocation-inducing constructs
+//	    (enforced by the hotpathalloc analyzer).
+//
+//	//wlan:allow-nondeterminism <reason>
+//	    On (or directly above) a flagged line in a sim-deterministic
+//	    package: the nondeterminism is audited and harmless — the reason
+//	    is mandatory and should say why (e.g. an order-independent
+//	    reduction). Enforced by the determinism analyzer, which also
+//	    rejects unknown or malformed //wlan: directives so a typo cannot
+//	    silently disable a contract.
+const (
+	VerbHotPath             = "hotpath"
+	VerbAllowNondeterminism = "allow-nondeterminism"
+)
+
+// Directive is one parsed //wlan: comment.
+type Directive struct {
+	Pos  token.Pos
+	Verb string // the word after //wlan:
+	Args string // remainder, space-trimmed
+}
+
+// Known reports whether the directive verb is in the //wlan: namespace.
+func (d Directive) Known() bool {
+	return d.Verb == VerbHotPath || d.Verb == VerbAllowNondeterminism
+}
+
+const directivePrefix = "//wlan:"
+
+// ParseDirectives extracts every //wlan: directive from files.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c); ok {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	verb, args, _ := strings.Cut(rest, " ")
+	return Directive{Pos: c.Slash, Verb: strings.TrimSpace(verb), Args: strings.TrimSpace(args)}, true
+}
+
+// funcDirective returns the directive with the given verb in a function's
+// doc comment, if any.
+func funcDirective(decl *ast.FuncDecl, verb string) (Directive, bool) {
+	if decl.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range decl.Doc.List {
+		if d, ok := parseDirective(c); ok && d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

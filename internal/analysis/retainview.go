@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RetainView enforces the RX-view contract (mac and net80211 package
+// docs): frames delivered through a mac.Receiver-shaped handler are
+// zero-copy views into pooled decode buffers, valid only for the duration
+// of the callback. Storing the frame, its body, or a slice of the body
+// into anything that outlives the handler — a field, a global, a closure,
+// a channel — without an interposed frame.Frame.Clone silently reads
+// whatever the pool decodes next.
+var RetainView = &Analyzer{
+	Name: "retainview",
+	Doc: "flag RX handlers that retain a delivered *frame.Frame, its body, or a " +
+		"body-derived slice past the callback without Clone",
+	Run: runRetainView,
+}
+
+func runRetainView(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				if param := rxHandlerParam(pass, fn.Type, fn.Name.Name); param != nil {
+					checkHandler(pass, fn.Body, param)
+				}
+			case *ast.FuncLit:
+				// Anonymous receivers: only the full Receiver signature
+				// identifies them (there is no name to match).
+				if param := rxHandlerParam(pass, fn.Type, ""); param != nil {
+					checkHandler(pass, fn.Body, param)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rxHandlerParam reports whether a function is an RX delivery handler and
+// returns its frame-view parameter. Two shapes qualify: the mac.Receiver
+// signature func(*frame.Frame, medium.RxInfo) regardless of name, and any
+// handle*/receive*/on*/rx*-named function whose first parameter is a
+// *frame.Frame (the net80211 handler family).
+func rxHandlerParam(pass *Pass, ft *ast.FuncType, name string) *ast.Ident {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return nil
+	}
+	first := ft.Params.List[0]
+	if len(first.Names) != 1 || first.Names[0].Name == "_" {
+		return nil
+	}
+	if !IsNamed(pass.TypeOf(first.Type), "frame", "Frame") {
+		return nil
+	}
+	if _, isPtr := pass.TypeOf(first.Type).(*types.Pointer); !isPtr {
+		return nil
+	}
+	nparams := 0
+	for _, f := range ft.Params.List {
+		nparams += len(f.Names)
+		if len(f.Names) == 0 {
+			nparams++
+		}
+	}
+	if nparams == 2 && len(ft.Params.List) == 2 &&
+		IsNamed(pass.TypeOf(ft.Params.List[1].Type), "medium", "RxInfo") {
+		return first.Names[0]
+	}
+	lower := strings.ToLower(name)
+	for _, prefix := range []string{"handle", "receive", "on", "rx"} {
+		if strings.HasPrefix(lower, prefix) {
+			return first.Names[0]
+		}
+	}
+	return nil
+}
+
+// checkHandler flags retention of the view rooted at param within body.
+func checkHandler(pass *Pass, body *ast.BlockStmt, param *ast.Ident) {
+	tracked := map[types.Object]bool{}
+	if obj := pass.TypesInfo.Defs[param]; obj != nil {
+		tracked[obj] = true
+	} else if obj := pass.TypesInfo.Uses[param]; obj != nil {
+		tracked[obj] = true
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Function literals that cannot outlive the handler are exempt:
+	// immediately-invoked ones, and locals like `reply := func(...)...`
+	// whose every use is a direct synchronous call.
+	invoked := map[*ast.FuncLit]bool{}
+	localLit := map[types.Object]*ast.FuncLit{}
+	callUses := map[types.Object]int{}
+	totalUses := map[types.Object]int{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if lit, ok := unparen(n.Fun).(*ast.FuncLit); ok {
+				invoked[lit] = true
+			}
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					callUses[obj]++
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if lit, ok := unparen(n.Rhs[0]).(*ast.FuncLit); ok {
+					if id, ok := unparen(n.Lhs[0]).(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							localLit[obj] = lit
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				totalUses[obj]++
+			}
+		}
+		return true
+	})
+	for obj, lit := range localLit {
+		if callUses[obj] == totalUses[obj] {
+			invoked[lit] = true
+		}
+	}
+
+	isView := func(e ast.Expr) bool { return isViewExpr(pass, tracked, e) }
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				lhs, rhs := n.Lhs[i], n.Rhs[i]
+				// Aliasing into a fresh local keeps the value a view:
+				// extend the tracked set instead of flagging.
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil && isView(rhs) {
+						tracked[obj] = true
+						continue
+					}
+				}
+				if !lhsOutlivesHandler(pass, lhs) {
+					continue
+				}
+				if stored := storedViewIn(pass, tracked, rhs); stored != nil {
+					pass.Reportf(stored.Pos(), "rx-view contract: delivered frames are views into pooled decode "+
+						"buffers, valid only during the handler; Clone() what outlives it (see retainview)")
+				}
+			}
+		case *ast.SendStmt:
+			if stored := storedViewIn(pass, tracked, n.Value); stored != nil {
+				pass.Reportf(stored.Pos(), "rx-view contract: sending a delivered frame view to a channel lets it "+
+					"outlive the handler; send a Clone() (see retainview)")
+			}
+		case *ast.FuncLit:
+			if invoked[n] {
+				return true
+			}
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] {
+						pass.Reportf(id.Pos(), "rx-view contract: closure captures the delivered frame view %s and "+
+							"may run after the handler returns; capture a Clone() (see retainview)", id.Name)
+						return false
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+// isViewExpr reports whether e is (a slice of) the delivered view: the
+// tracked frame pointer itself, its Body field, or an index/slice
+// expression over either.
+func isViewExpr(pass *Pass, tracked map[types.Object]bool, e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && tracked[obj]
+	case *ast.SelectorExpr:
+		if !isViewExpr(pass, tracked, e.X) {
+			return false
+		}
+		// Field reads that copy (addresses, scalars) are safe; only the
+		// aliasing body slice stays a view.
+		return isByteSlice(pass.TypeOf(e))
+	case *ast.IndexExpr:
+		return isViewExpr(pass, tracked, e.X)
+	case *ast.SliceExpr:
+		return isViewExpr(pass, tracked, e.X)
+	case *ast.StarExpr:
+		return isViewExpr(pass, tracked, e.X)
+	}
+	return false
+}
+
+// storedViewIn returns the view expression that rhs would store, nil if
+// rhs stores no view. Clone()-style calls and append spread-copies of
+// byte views sanitize; storing the view value itself, appending it as an
+// element, or embedding it in a composite literal retains it.
+func storedViewIn(pass *Pass, tracked map[types.Object]bool, rhs ast.Expr) ast.Expr {
+	rhs = unparen(rhs)
+	if isViewExpr(pass, tracked, rhs) {
+		return rhs
+	}
+	switch e := rhs.(type) {
+	case *ast.CallExpr:
+		if isCloneCall(pass, e) {
+			return nil
+		}
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == types.Universe.Lookup("append") {
+			for i, arg := range e.Args {
+				if i == 0 {
+					continue // the destination, not a stored value
+				}
+				if isViewExpr(pass, tracked, arg) {
+					if i == len(e.Args)-1 && e.Ellipsis.IsValid() && isByteSlice(pass.TypeOf(arg)) {
+						continue // append(dst, view...) copies the bytes
+					}
+					return arg
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if isViewExpr(pass, tracked, v) {
+				return v
+			}
+		}
+	case *ast.UnaryExpr:
+		if lit, ok := unparen(e.X).(*ast.CompositeLit); ok {
+			return storedViewIn(pass, tracked, lit)
+		}
+	}
+	return nil
+}
+
+// isCloneCall matches calls that deep-copy their receiver or argument:
+// frame.Frame.Clone and clone*-named helpers (the net80211 clonePayload
+// idiom).
+func isCloneCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return strings.HasPrefix(strings.ToLower(fun.Sel.Name), "clone")
+	case *ast.Ident:
+		return strings.HasPrefix(strings.ToLower(fun.Name), "clone")
+	}
+	return false
+}
+
+// lhsOutlivesHandler reports whether an assignment target survives the
+// handler's dynamic extent: a field, a dereference, an element of a
+// non-local container, or a package-level variable. Plain locals die with
+// the handler and are handled by view tracking instead.
+func lhsOutlivesHandler(pass *Pass, lhs ast.Expr) bool {
+	switch e := unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		if id, ok := unparen(e.X).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				return isPackageLevel(obj)
+			}
+		}
+		return true
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && isPackageLevel(obj)
+	}
+	return false
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}

@@ -1,0 +1,24 @@
+// Package notsim uses every construct the determinism analyzer forbids,
+// but is not a sim-deterministic package, so nothing is flagged.
+package notsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano()
+}
+
+func roll() int {
+	return rand.Intn(6)
+}
+
+func iterate(m map[int]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

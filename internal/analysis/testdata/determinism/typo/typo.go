@@ -1,0 +1,18 @@
+// Package typo holds malformed //wlan: directives. The determinism
+// analyzer validates the directive namespace in every package: a typo must
+// fail the lint run, not silently stop suppressing. The expectations for
+// this fixture live in the test (the diagnostics land on the directive
+// comments themselves, where a // want comment cannot).
+package typo
+
+//wlan:hotpth
+func misspelled() {}
+
+func reasonless(m map[int]int) int {
+	var sum int
+	//wlan:allow-nondeterminism
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

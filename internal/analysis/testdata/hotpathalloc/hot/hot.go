@@ -1,0 +1,122 @@
+// Package hot exercises the hotpathalloc contract: functions annotated
+// //wlan:hotpath must not contain allocation-inducing constructs.
+package hot
+
+type item struct {
+	buf []byte
+	n   int
+}
+
+//wlan:hotpath
+func makesSlice(n int) []int {
+	return make([]int, n) // want "calls make"
+}
+
+//wlan:hotpath
+func newsStruct() *item {
+	return new(item) // want "calls new"
+}
+
+//wlan:hotpath
+func escapingLiteral() *item {
+	return &item{n: 1} // want "takes the address of a composite literal"
+}
+
+//wlan:hotpath
+func sliceLiteral() {
+	process([]int{1, 2, 3}) // want "builds a slice literal"
+}
+
+//wlan:hotpath
+func mapLiteral() {
+	lookup(map[string]int{"a": 1}) // want "builds a map literal"
+}
+
+//wlan:hotpath
+func closes(n int) func() int {
+	return func() int { return n } // want "defines a closure"
+}
+
+//wlan:hotpath
+func appendsNil(b byte) []byte {
+	return append([]byte(nil), b) // want "appends to nil"
+}
+
+//wlan:hotpath
+func appendsFresh(b byte) []byte {
+	return append([]byte{}, b) // want "appends to a fresh slice literal" "builds a slice literal"
+}
+
+//wlan:hotpath
+func stringifies(b []byte) string {
+	return string(b) // want "converts between string and \\[\\]byte"
+}
+
+//wlan:hotpath
+func boxesArg(n int) {
+	sink(n) // want "boxes a int into"
+}
+
+//wlan:hotpath
+func boxesAssign(n int) {
+	var v any
+	v = n // want "boxes a int into"
+	_ = v
+}
+
+//wlan:hotpath
+func boxesReturn(n int) any {
+	return n // want "boxes a int into"
+}
+
+//wlan:hotpath
+func nestedLiteral() *item {
+	return &item{buf: []byte{1}} // want "takes the address of a composite literal" "nests a slice/map literal"
+}
+
+//wlan:hotpath
+func passthrough(args []any) {
+	variadic(args...) // an existing slice passes through unboxed
+}
+
+//wlan:hotpath
+func named(n int) (out int) {
+	out = n
+	return // naked return: nothing to box-check
+}
+
+//wlan:hotpath
+func parens(it *item) {
+	sink((it))
+}
+
+func variadic(vs ...any) { _ = vs }
+
+// clean is annotated and uses only the sanctioned shapes: reused buffers,
+// pointer-shaped interface crossings, constant boxing, spread copies.
+//
+//wlan:hotpath
+func clean(it *item, src []byte) {
+	it.buf = append(it.buf[:0], src...)
+	it.n += len(src)
+	sink(it) // pointers store directly in an interface, no boxing
+	if it.n < 0 {
+		panic("hot: negative length") // constants box statically
+	}
+}
+
+// cold has every forbidden construct but no annotation, so nothing is
+// flagged.
+func cold(n int) any {
+	s := make([]int, n)
+	m := map[string]int{"a": 1}
+	f := func() int { return n }
+	_ = append([]byte(nil), byte(n))
+	_, _ = s, m
+	_ = f
+	return n
+}
+
+func sink(v any)              { _ = v }
+func process(s []int)         { _ = s }
+func lookup(m map[string]int) { _ = m }

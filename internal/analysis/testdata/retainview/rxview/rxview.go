@@ -1,0 +1,78 @@
+// Package rxview exercises the retainview contract: delivered frames are
+// views into pooled decode buffers and must be Cloned to outlive the
+// handler.
+package rxview
+
+import (
+	"repro/internal/frame"
+	"repro/internal/medium"
+)
+
+type keeper struct {
+	held   *frame.Frame
+	copied *frame.Frame
+	body   []byte
+	seq    uint16
+	frames []*frame.Frame
+	ch     chan *frame.Frame
+	cb     func()
+	pair   pair
+}
+
+type pair struct {
+	f *frame.Frame
+}
+
+var global *frame.Frame
+
+// OnRxFrame has the exact mac.Receiver signature, so it is a handler
+// regardless of name.
+func (k *keeper) OnRxFrame(f *frame.Frame, info medium.RxInfo) {
+	k.held = f // want "valid only during the handler"
+	global = f // want "valid only during the handler"
+}
+
+// handleData is a handler by name prefix and first-parameter type.
+func (k *keeper) handleData(f *frame.Frame) {
+	k.body = f.Body // want "valid only during the handler"
+	v := f
+	k.held = v // want "valid only during the handler"
+}
+
+func (k *keeper) rxStore(f *frame.Frame) {
+	k.frames = append(k.frames, f) // want "valid only during the handler"
+	k.pair = pair{f: f}            // want "valid only during the handler"
+	k.ch <- f                      // want "sending a delivered frame view"
+	k.cb = func() {
+		f.Retry = true // want "closure captures the delivered frame view"
+	}
+}
+
+// receiveClean shows the sanctioned shapes: Clone what outlives the
+// handler, spread-copy body bytes, read scalars, and use the view freely
+// in locals and synchronous closures.
+func (k *keeper) receiveClean(f *frame.Frame, info medium.RxInfo) {
+	k.copied = f.Clone()
+	k.body = append(k.body[:0], f.Body...)
+	k.seq = f.Seq
+	tmp := f
+	_ = tmp
+	reply := func() { k.seq = f.Seq }
+	reply()
+	func() { k.seq = f.Seq }()
+	k.copied = clonePayload(f)
+	var locals [1]*frame.Frame
+	locals[0] = f // a local container dies with the handler
+	_ = locals
+}
+
+// clonePayload mirrors the net80211 helper idiom: clone*-named functions
+// sanitize.
+func clonePayload(f *frame.Frame) *frame.Frame { return f.Clone() }
+
+// stash is not a handler (no matching name prefix, not the Receiver
+// signature), so provenance of its parameter is unknown and nothing is
+// flagged.
+func stash(f *frame.Frame) {
+	global = f
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig is the subset of cmd/go's vet config file (the single *.cfg
+// argument a vettool receives per package) that wlanlint needs: the
+// sources to check and the export data to resolve their imports with.
+type vetConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit analyzes one build unit handed over by `go vet -vettool`.
+// It returns formatted "file:line:col: analyzer: message" strings; the
+// caller decides the exit status (cmd/go treats non-zero + stderr output
+// as findings). Facts are not exchanged — the wlanlint analyzers are all
+// intra-package — but the VetxOutput file must exist for cmd/go to cache
+// the unit, so an empty one is written on success.
+func RunVetUnit(cfgPath string, analyzers []*Analyzer) ([]string, error) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet config", path)
+		}
+		return os.Open(file)
+	})
+	// cmd/go also hands over test-augmented build units; the contracts
+	// apply to non-test code only (Load excludes _test.go the same way),
+	// and tests legitimately use maps, wall clocks and fresh frames.
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	pkg, err := typecheck(fset, imp, cfg.ImportPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

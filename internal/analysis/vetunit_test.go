@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunVetUnit drives the vettool entry point with a hand-built vet
+// config, the way cmd/go invokes wlanlint per build unit.
+func TestRunVetUnit(t *testing.T) {
+	dir := t.TempDir()
+	src := `package unit
+
+//wlan:hotpath
+func leaky(n int) []int {
+	return make([]int, n)
+}
+`
+	goFile := filepath.Join(dir, "unit.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "unit.vetx")
+	cfg := map[string]any{
+		"ImportPath":  "fixture/unit",
+		"GoFiles":     []string{goFile},
+		"ImportMap":   map[string]string{},
+		"PackageFile": map[string]string{},
+		"VetxOutput":  vetx,
+	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgPath, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	findings, err := RunVetUnit(cfgPath, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0], "hotpathalloc") || !strings.Contains(findings[0], "calls make") {
+		t.Errorf("finding = %q, want hotpathalloc make diagnostic", findings[0])
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+// TestRunVetUnitImports resolves an import through the config's
+// PackageFile export-data map, the way cmd/go hands dependencies to a
+// vettool.
+func TestRunVetUnitImports(t *testing.T) {
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "strings").Output()
+	if err != nil {
+		t.Fatalf("go list -export strings: %v", err)
+	}
+	export := strings.TrimSpace(string(out))
+	if export == "" {
+		t.Skip("no export data for strings in this toolchain cache")
+	}
+
+	dir := t.TempDir()
+	src := `package unit
+
+import "strings"
+
+//wlan:hotpath
+func shout(s string) string {
+	return strings.ToUpper(s)
+}
+`
+	goFile := filepath.Join(dir, "unit.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(map[string]any{
+		"ImportPath":  "fixture/imports",
+		"GoFiles":     []string{goFile},
+		"ImportMap":   map[string]string{"strings": "strings"},
+		"PackageFile": map[string]string{"strings": export},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgPath, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunVetUnit(cfgPath, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("findings = %v, want none", findings)
+	}
+}
+
+// TestRunVetUnitSkipsTestFiles matches standalone Load's scope: _test.go
+// files in a test-augmented build unit are exempt from the contracts.
+func TestRunVetUnitSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	testFile := filepath.Join(dir, "unit_test.go")
+	src := `package unit
+
+import "time"
+
+func helper() int64 { return time.Now().UnixNano() }
+`
+	if err := os.WriteFile(testFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "time").Output()
+	if err != nil {
+		t.Fatalf("go list -export time: %v", err)
+	}
+	vetx := filepath.Join(dir, "unit.vetx")
+	raw, err := json.Marshal(map[string]any{
+		"ImportPath":  "fixture/testonly",
+		"GoFiles":     []string{testFile},
+		"PackageFile": map[string]string{"time": strings.TrimSpace(string(out))},
+		"VetxOutput":  vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgPath, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunVetUnit(cfgPath, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("findings = %v, want none for a test-only unit", findings)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written for a test-only unit: %v", err)
+	}
+}
+
+// TestRunVetUnitMissingExport reports imports absent from the config
+// instead of typechecking against guesses.
+func TestRunVetUnitMissingExport(t *testing.T) {
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "unit.go")
+	src := "package unit\n\nimport \"strings\"\n\nfunc f(s string) string { return strings.ToUpper(s) }\n"
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(map[string]any{
+		"ImportPath": "fixture/missing",
+		"GoFiles":    []string{goFile},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgPath, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunVetUnit(cfgPath, All()); err == nil {
+		t.Error("expected an error for an import with no export data")
+	}
+}
+
+// TestRunVetUnitBadConfig covers the two config failure modes: file
+// missing, file unparseable.
+func TestRunVetUnitBadConfig(t *testing.T) {
+	if _, err := RunVetUnit(filepath.Join(t.TempDir(), "nope.cfg"), All()); err == nil {
+		t.Error("expected an error for a missing config file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cfg")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunVetUnit(bad, All()); err == nil || !strings.Contains(err.Error(), "parsing vet config") {
+		t.Errorf("err = %v, want parse error", err)
+	}
+}
+
+// TestRunVetUnitTypecheckFailure honours SucceedOnTypecheckFailure, which
+// cmd/go sets for packages it already knows are broken.
+func TestRunVetUnitTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(goFile, []byte("package bad\n\nfunc f() int { return \"x\" }\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	write := func(succeed bool) string {
+		raw, err := json.Marshal(map[string]any{
+			"ImportPath":                "fixture/bad",
+			"GoFiles":                   []string{goFile},
+			"SucceedOnTypecheckFailure": succeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, "bad.cfg")
+		if succeed {
+			p = filepath.Join(dir, "bad-succeed.cfg")
+		}
+		if err := os.WriteFile(p, raw, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := RunVetUnit(write(false), All()); err == nil {
+		t.Error("expected a typecheck error")
+	}
+	if findings, err := RunVetUnit(write(true), All()); err != nil || len(findings) != 0 {
+		t.Errorf("SucceedOnTypecheckFailure: findings=%v err=%v, want none", findings, err)
+	}
+}

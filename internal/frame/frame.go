@@ -285,6 +285,8 @@ func (f *Frame) Marshal() []byte {
 // AppendWire serialises the frame onto buf and returns the extended slice.
 // It is the allocation-free form of Marshal: the medium reuses transmission
 // buffers across frames, so the hot path never allocates a wire image.
+//
+//wlan:hotpath
 func (f *Frame) AppendWire(buf []byte) []byte {
 	start := len(buf)
 	fc := f.frameControl()
@@ -317,12 +319,21 @@ var (
 	ErrBadFCS     = errors.New("frame: FCS mismatch")
 )
 
+// lengthErr builds the fixed-length mismatch error for control frames. It
+// is a separate cold-path constructor so the fmt boxing it implies stays
+// out of UnmarshalInto.
+func lengthErr(f *Frame, got, want int) error {
+	return fmt.Errorf("frame: %s has length %d, want %d", Name(f.Type, f.Subtype), got, want)
+}
+
 // UnmarshalInto parses a wire image into f, verifying the FCS, without
 // allocating: f.Body aliases b's payload bytes. The frame is therefore a
 // *view* — it is valid only as long as the caller keeps b intact. Callers
 // that retain the frame (or its body) beyond b's lifetime must Clone it.
 // Every field of f is overwritten, so pooled Frame structs need no clearing
 // between uses. On error f is left in an unspecified state.
+//
+//wlan:hotpath
 func UnmarshalInto(f *Frame, b []byte) error {
 	if len(b) < CTSLen {
 		return ErrShortFrame
@@ -341,11 +352,11 @@ func UnmarshalInto(f *Frame, b []byte) error {
 	switch {
 	case f.IsCTSOrACK():
 		if len(payload) != CTSLen-FCSLen {
-			return fmt.Errorf("frame: %s has length %d, want %d", Name(f.Type, f.Subtype), len(b), CTSLen)
+			return lengthErr(f, len(b), CTSLen)
 		}
 	case f.IsRTSOrPSPoll():
 		if len(payload) != RTSLen-FCSLen {
-			return fmt.Errorf("frame: %s has length %d, want %d", Name(f.Type, f.Subtype), len(b), RTSLen)
+			return lengthErr(f, len(b), RTSLen)
 		}
 		copy(f.Addr2[:], payload[10:16])
 	default:

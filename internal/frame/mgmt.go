@@ -32,6 +32,8 @@ func MarshalIEs(ies []IE) []byte {
 // AppendIE appends one information element to dst and returns the extended
 // slice. It is the allocation-free building block the append-style
 // marshalling paths (AppendBeacon) are made of.
+//
+//wlan:hotpath
 func AppendIE(dst []byte, id uint8, data []byte) []byte {
 	dst = append(dst, id, byte(len(data)))
 	return append(dst, data...)
@@ -41,6 +43,8 @@ func AppendIE(dst []byte, id uint8, data []byte) []byte {
 // the data slice passed to fn aliases b. It stops early when fn returns
 // false, and reports ErrShortFrame on a truncated element. It is the
 // zero-allocation core of ParseIEs and LookupIE.
+//
+//wlan:hotpath
 func ForEachIE(b []byte, fn func(id uint8, data []byte) bool) error {
 	for len(b) > 0 {
 		if len(b) < 2 {

@@ -136,6 +136,7 @@ func ByID(id string) *Experiment { return registry[id] }
 // All returns the experiments sorted by ID (T1 first, then F1..F12, S1).
 func All() []*Experiment {
 	out := make([]*Experiment, 0, len(registry))
+	//wlan:allow-nondeterminism collection order is erased by the sort below
 	for _, e := range registry {
 		out = append(out, e)
 	}

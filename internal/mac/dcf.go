@@ -268,6 +268,8 @@ func (d *DCF) OnCCAIdle() {
 
 // countdownStart returns the instant the current backoff countdown began:
 // idle start plus the applicable IFS.
+//
+//wlan:hotpath
 func (d *DCF) countdownStart() sim.Time {
 	idle := d.mediumIdleAt
 	if d.navUntil > idle {
@@ -278,10 +280,13 @@ func (d *DCF) countdownStart() sim.Time {
 
 // aifs returns this station's arbitration IFS: SIFS + AIFSN slots (AIFSN=2
 // recovers the legacy DIFS).
+//
+//wlan:hotpath
 func (d *DCF) aifs() sim.Duration {
 	return d.mode.SIFS + sim.Duration(d.cfg.AIFSN)*d.mode.Slot
 }
 
+//wlan:hotpath
 func (d *DCF) ifs() sim.Duration {
 	extra := d.aifs() - d.mode.DIFS()
 	if d.useEIFS {
@@ -290,6 +295,7 @@ func (d *DCF) ifs() sim.Duration {
 	return d.aifs()
 }
 
+//wlan:hotpath
 func (d *DCF) drawBackoff() {
 	d.backoffSlots = d.rng.Intn(d.cw + 1)
 	d.stats.BackoffSlots += uint64(d.backoffSlots)
@@ -373,6 +379,8 @@ func (d *DCF) tryAccess() {
 }
 
 // airtimeUs returns a frame's airtime in whole microseconds (rounded up).
+//
+//wlan:hotpath
 func airtimeUs(m *phy.Mode, ri phy.RateIdx, bytes int) uint16 {
 	us := math.Ceil(m.Airtime(ri, bytes).Microseconds())
 	if us > 65535 {
@@ -381,6 +389,7 @@ func airtimeUs(m *phy.Mode, ri phy.RateIdx, bytes int) uint16 {
 	return uint16(us)
 }
 
+//wlan:hotpath
 func durToUs(dur sim.Duration) uint16 {
 	us := math.Ceil(dur.Microseconds())
 	if us > 32767 { // Duration field caps at 32767 for NAV values

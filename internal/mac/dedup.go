@@ -22,6 +22,7 @@ func newDedupCache() *dedupCache {
 	return &dedupCache{}
 }
 
+//wlan:hotpath
 func key(f *frame.Frame) uint32 { return uint32(f.Seq)<<4 | uint32(f.Frag) }
 
 // index returns the slot for a transmitter, creating one on first contact.
@@ -44,6 +45,8 @@ func (c *dedupCache) index(addr frame.MACAddr) (int, bool) {
 
 // isDuplicate reports whether f repeats the previously accepted MPDU from
 // its transmitter. Non-duplicates are recorded.
+//
+//wlan:hotpath
 func (c *dedupCache) isDuplicate(f *frame.Frame) bool {
 	k := key(f)
 	i, known := c.index(f.Addr2)

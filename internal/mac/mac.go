@@ -32,6 +32,12 @@
 // frame.Frame.Clone. Violations do not crash: they silently read whatever
 // the pool decoded next, which is exactly the class of bug the golden
 // traces (internal/harness/testdata) exist to catch.
+//
+// Both contracts are machine-checked: cmd/wlanlint's txownership analyzer
+// flags frames reaching Enqueue that are not pool slots or clones (and any
+// touch after an accepted hand-off), and its retainview analyzer flags RX
+// handler code that retains a delivered view without Clone. CI runs both
+// on every push.
 package mac
 
 import (
@@ -159,8 +165,10 @@ type txJob struct {
 	rate phy.RateIdx
 }
 
+//wlan:hotpath
 func (j *txJob) cur() *frame.Frame { return j.frags[j.fragIdx] }
 
+//wlan:hotpath
 func (j *txJob) dst() frame.MACAddr { return j.frags[0].Addr1 }
 
 // lastTxKind tags what our radio just finished sending.

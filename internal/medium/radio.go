@@ -69,6 +69,8 @@ type segAccum struct {
 }
 
 // begin opens the timeline at a lock start.
+//
+//wlan:hotpath
 func (s *segAccum) begin(now sim.Time, interfMW float64) {
 	s.from = now
 	s.interfMW = interfMW
@@ -82,6 +84,8 @@ func (s *segAccum) begin(now sim.Time, interfMW float64) {
 // adjacent levels coalesce in storage automatically — the open span is the
 // only storage there is — while fold still sees every span exactly as the
 // naive timeline would.
+//
+//wlan:hotpath
 func (s *segAccum) boundary(now sim.Time, interfMW float64, r *Radio) {
 	if s.from != now {
 		r.foldSpan(now)
@@ -287,6 +291,8 @@ func (r *Radio) Wake() {
 func (r *Radio) Asleep() bool { return r.state == stateSleep }
 
 // interferenceMW returns current non-lock power at the antenna.
+//
+//wlan:hotpath
 func (r *Radio) interferenceMW() float64 {
 	if r.lock == nil {
 		return r.totalMW
@@ -299,6 +305,8 @@ func (r *Radio) interferenceMW() float64 {
 }
 
 // updateCCA emits edge events on carrier-sense transitions.
+//
+//wlan:hotpath
 func (r *Radio) updateCCA() {
 	busy := r.CCABusy()
 	if busy == r.ccaBusy {
@@ -397,6 +405,8 @@ func (r *Radio) closeSegment() {
 // foldSpan closes the open span [r.seg.from, to) against the locked frame:
 // one chunk-error evaluation and a running SINR minimum, exactly as the
 // naive end-of-lock timeline walk would compute for this span.
+//
+//wlan:hotpath
 func (r *Radio) foldSpan(to sim.Time) {
 	a := r.lock
 	dur := to.Sub(r.seg.from)
@@ -456,6 +466,8 @@ type chunkCacheEntry struct {
 
 // chunkSuccess is a memoized a.t.mode.ChunkSuccess: identical inputs give
 // identical outputs, so the cache cannot perturb results.
+//
+//wlan:hotpath
 func (r *Radio) chunkSuccess(mode *phy.Mode, rate phy.RateIdx, sinr float64, bits int) float64 {
 	h := (math.Float64bits(sinr) ^ uint64(bits)<<1 ^ uint64(rate)<<40) % chunkCacheSize
 	e := &r.chunkCache[h]
@@ -478,6 +490,8 @@ type dbCacheEntry struct {
 }
 
 // dbFromLinear is a memoized units.DBFromLinear.
+//
+//wlan:hotpath
 func (r *Radio) dbFromLinear(lin float64) units.DB {
 	h := math.Float64bits(lin) % dbCacheSize
 	e := &r.dbCache[h]

@@ -20,6 +20,12 @@
 //     storage in place. Send paths therefore draw frames from the
 //     per-node txPool — QueueCap()+2 slots, advanced only when Enqueue
 //     accepts — and must never recycle a slot the MAC may still hold.
+//
+// Both rules are enforced statically by cmd/wlanlint: the retainview
+// analyzer catches RX views retained past their handler, and the
+// txownership analyzer catches non-pooled frames reaching Enqueue and
+// use-after-hand-off. A new send/receive path that trips either analyzer
+// is wrong until it clones or pools; see README.md "Static contracts".
 package net80211
 
 import (
@@ -195,6 +201,7 @@ func (ap *AP) Associated(addr frame.MACAddr) bool {
 // AssociatedCount returns the number of associated stations.
 func (ap *AP) AssociatedCount() int {
 	n := 0
+	//wlan:allow-nondeterminism order-independent count over the station map
 	for _, e := range ap.stations {
 		if e.assoc {
 			n++
@@ -240,6 +247,7 @@ func (ap *AP) sendBeacon() {
 	tim.DTIMPeriod = uint8(ap.cfg.DTIMPeriod)
 	tim.Multicast = false
 	tim.AIDs = tim.AIDs[:0]
+	//wlan:allow-nondeterminism TIM encodes as an AID bitmap, so the wire bytes are independent of collection order
 	for _, e := range ap.stations {
 		if e.assoc && e.ps && len(e.psBuf) > 0 {
 			tim.AIDs = append(tim.AIDs, e.aid)

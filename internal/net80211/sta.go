@@ -307,17 +307,40 @@ func (s *STA) finishScan() {
 	s.join(best)
 }
 
+// bestCandidate picks the strongest scanned AP. Ties on RSSI break on
+// BSSID so the choice is a pure function of the candidate set — map
+// iteration order must never decide which AP a station joins
+// (determinism contract).
 func (s *STA) bestCandidate() *candidate {
 	var best *candidate
+	//wlan:allow-nondeterminism order-independent max: total order on (rssi, bssid) makes the reduction commutative
 	for _, c := range s.cands {
 		if c.ssid != s.cfg.SSID {
 			continue
 		}
-		if best == nil || c.rssi > best.rssi {
+		if best == nil || betterCandidate(c, best) {
 			best = c
 		}
 	}
 	return best
+}
+
+// betterCandidate is the strict total order scan results are reduced by:
+// higher RSSI wins, lower BSSID breaks ties.
+func betterCandidate(a, b *candidate) bool {
+	if a.rssi != b.rssi {
+		return a.rssi > b.rssi
+	}
+	return lowerMAC(a.bssid, b.bssid)
+}
+
+func lowerMAC(a, b frame.MACAddr) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
 }
 
 // --- join state machine -----------------------------------------------------
@@ -481,21 +504,30 @@ func (s *STA) maybeRoam() {
 		return
 	}
 	// Some other known candidate must already look better by the
-	// hysteresis margin, otherwise stay and tolerate the weak link.
+	// hysteresis margin, otherwise stay and tolerate the weak link. The
+	// strongest qualifying one wins (ties on BSSID): which AP a roam
+	// lands on must be a pure function of the candidate set, never of
+	// map iteration order (determinism contract).
+	var target *candidate
+	//wlan:allow-nondeterminism order-independent max: total order on (rssi, bssid) makes the reduction commutative
 	for _, c := range s.cands {
 		if c.bssid == s.bssid || c.ssid != s.cfg.SSID {
 			continue
 		}
-		if units.DBm(c.rssi) > units.DBm(s.servRSSI).Add(s.cfg.RoamHysteresis) {
-			s.Stats.Roams++
-			if s.tracing() {
-				s.Tracer.Trace(trace.Event{At: s.k.Now(), Node: s.name(), Kind: trace.KindRoam,
-					Detail: fmt.Sprintf("%v -> %v (%.1f -> %.1f dBm)", s.bssid, c.bssid, s.servRSSI, c.rssi)})
-			}
-			s.join(c)
-			return
+		if units.DBm(c.rssi) > units.DBm(s.servRSSI).Add(s.cfg.RoamHysteresis) &&
+			(target == nil || betterCandidate(c, target)) {
+			target = c
 		}
 	}
+	if target == nil {
+		return
+	}
+	s.Stats.Roams++
+	if s.tracing() {
+		s.Tracer.Trace(trace.Event{At: s.k.Now(), Node: s.name(), Kind: trace.KindRoam,
+			Detail: fmt.Sprintf("%v -> %v (%.1f -> %.1f dBm)", s.bssid, target.bssid, s.servRSSI, target.rssi)})
+	}
+	s.join(target)
 }
 
 func (s *STA) handleAuth(f *frame.Frame) {
@@ -634,11 +666,20 @@ func (s *STA) watchBeacons() {
 // --- power save -------------------------------------------------------------
 
 // enterPS announces PS mode with a null frame. The station stays awake
-// until its first beacon, which synchronizes the doze cycle.
+// until its first beacon, which synchronizes the doze cycle. The frame
+// comes from the transmit pool like every other send path (txownership):
+// a station cycling in and out of PS forever allocates nothing.
 func (s *STA) enterPS() {
-	nf := frame.NewNullData(s.bssid, s.Address(), s.bssid, true)
-	nf.PwrMgmt = true
-	s.dcf.Enqueue(nf)
+	slot := s.tx.slot()
+	slot.f = frame.Frame{
+		Type: frame.TypeData, Subtype: frame.SubtypeNullData,
+		ToDS:  true,
+		Addr1: s.bssid, Addr2: s.Address(), Addr3: s.bssid,
+		PwrMgmt: true,
+	}
+	if s.dcf.Enqueue(&slot.f) {
+		s.tx.commit()
+	}
 	s.armPSWake(s.beaconInt) // failsafe until the first beacon resyncs
 }
 
@@ -701,7 +742,16 @@ func (s *STA) sendPSPoll() {
 		s.dcf.Radio().Wake()
 	}
 	s.Stats.PSPollsSent++
-	s.dcf.Enqueue(frame.NewPSPoll(s.bssid, s.Address(), s.aid))
+	// Pooled like every send path (txownership): Duration carries the AID
+	// with the two high bits set, per the standard.
+	slot := s.tx.slot()
+	slot.f = frame.Frame{
+		Type: frame.TypeControl, Subtype: frame.SubtypePSPoll,
+		Addr1: s.bssid, Addr2: s.Address(), Duration: s.aid | 0xc000,
+	}
+	if s.dcf.Enqueue(&slot.f) {
+		s.tx.commit()
+	}
 	// Stay awake for the polled frame; a token guards against a stale
 	// timeout clearing a newer wait.
 	s.psAwaitData = true

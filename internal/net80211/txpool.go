@@ -43,11 +43,15 @@ func newTxPool(queueCap int) *txPool {
 
 // slot returns the current slot. The caller overwrites slot.f entirely and
 // rebuilds slot.body from length zero, so no state leaks between sends.
+//
+//wlan:hotpath
 func (p *txPool) slot() *txSlot {
 	return &p.slots[p.next]
 }
 
 // commit advances the pool after the MAC accepted the current slot's frame.
+//
+//wlan:hotpath
 func (p *txPool) commit() {
 	p.next++
 	if p.next == len(p.slots) {

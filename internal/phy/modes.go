@@ -310,6 +310,8 @@ func (m *Mode) plcpOverhead() sim.Duration {
 // larger than any standard's) fall back to the computed path. The rate
 // entries of a Mode must not be mutated in place after the first Airtime
 // call — build a fresh Mode instead (the constructors always do).
+//
+//wlan:hotpath
 func (m *Mode) Airtime(ri RateIdx, mpduBytes int) sim.Duration {
 	if ri < 0 {
 		ri = 0
@@ -366,6 +368,8 @@ func (m *Mode) memoAirtime(ri RateIdx, mpduBytes int) sim.Duration {
 
 // computeAirtime is the unmemoized airtime computation. ri must already be
 // clamped into the rate table.
+//
+//wlan:hotpath
 func (m *Mode) computeAirtime(ri RateIdx, mpduBytes int) sim.Duration {
 	r := m.Rate(ri)
 	if m.ofdm {

@@ -118,6 +118,8 @@ func (a *ARF) state(dst frame.MACAddr) *arfState {
 }
 
 // SelectRate implements the controller interface.
+//
+//wlan:hotpath
 func (a *ARF) SelectRate(dst frame.MACAddr, _ int, _ int) phy.RateIdx {
 	if dst.IsGroup() {
 		return a.Mode.LowestBasic()
@@ -126,6 +128,8 @@ func (a *ARF) SelectRate(dst frame.MACAddr, _ int, _ int) phy.RateIdx {
 }
 
 // OnTxResult implements the controller interface.
+//
+//wlan:hotpath
 func (a *ARF) OnTxResult(dst frame.MACAddr, _ phy.RateIdx, success bool) {
 	if dst.IsGroup() {
 		return

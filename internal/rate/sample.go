@@ -106,6 +106,8 @@ func (st *srState) prob(i phy.RateIdx) float64 {
 }
 
 // expectedTxTime returns airtime/prob in nanoseconds (float).
+//
+//wlan:hotpath
 func (s *SampleRate) expectedTxTime(st *srState, i phy.RateIdx, bytes int) float64 {
 	p := st.prob(i)
 	if p < 0.01 {
@@ -115,6 +117,8 @@ func (s *SampleRate) expectedTxTime(st *srState, i phy.RateIdx, bytes int) float
 }
 
 // best returns the rate minimizing expected transmission time.
+//
+//wlan:hotpath
 func (s *SampleRate) best(st *srState, bytes int) phy.RateIdx {
 	bestIdx := s.Mode.LowestBasic()
 	bestT := s.expectedTxTime(st, bestIdx, bytes)
@@ -128,6 +132,8 @@ func (s *SampleRate) best(st *srState, bytes int) phy.RateIdx {
 }
 
 // SelectRate implements the controller interface.
+//
+//wlan:hotpath
 func (s *SampleRate) SelectRate(dst frame.MACAddr, bytes, attempt int) phy.RateIdx {
 	if dst.IsGroup() {
 		return s.Mode.LowestBasic()
@@ -165,6 +171,8 @@ func (s *SampleRate) SelectRate(dst frame.MACAddr, bytes, attempt int) phy.RateI
 }
 
 // OnTxResult implements the controller interface.
+//
+//wlan:hotpath
 func (s *SampleRate) OnTxResult(dst frame.MACAddr, ri phy.RateIdx, success bool) {
 	if dst.IsGroup() {
 		return
@@ -274,6 +282,8 @@ func (m *Minstrel) throughput(st *minstrelState, i phy.RateIdx) float64 {
 }
 
 // updateStats folds the window counters into the EWMAs and re-ranks rates.
+//
+//wlan:hotpath
 func (m *Minstrel) updateStats(st *minstrelState) {
 	for i := range st.stats {
 		s := &st.stats[i]
@@ -302,6 +312,8 @@ func (m *Minstrel) updateStats(st *minstrelState) {
 }
 
 // SelectRate implements the controller interface.
+//
+//wlan:hotpath
 func (m *Minstrel) SelectRate(dst frame.MACAddr, _, attempt int) phy.RateIdx {
 	if dst.IsGroup() {
 		return m.Mode.LowestBasic()
@@ -331,6 +343,8 @@ func (m *Minstrel) SelectRate(dst frame.MACAddr, _, attempt int) phy.RateIdx {
 }
 
 // OnTxResult implements the controller interface.
+//
+//wlan:hotpath
 func (m *Minstrel) OnTxResult(dst frame.MACAddr, ri phy.RateIdx, success bool) {
 	if dst.IsGroup() {
 		return

@@ -140,6 +140,8 @@ type heapKey struct {
 }
 
 // keyLess orders heap keys by (time, schedule order).
+//
+//wlan:hotpath
 func keyLess(a, b heapKey) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -193,6 +195,8 @@ func (k *Kernel) Pending() int {
 // --- struct-of-arrays 4-ary heap -----------------------------------------
 
 // up restores the heap property from position i toward the root.
+//
+//wlan:hotpath
 func (k *Kernel) up(i int) {
 	h := k.heap
 	key := h[i]
@@ -208,6 +212,8 @@ func (k *Kernel) up(i int) {
 }
 
 // down restores the heap property from position i toward the leaves.
+//
+//wlan:hotpath
 func (k *Kernel) down(i int) {
 	h := k.heap
 	n := len(h)
@@ -256,6 +262,8 @@ func (k *Kernel) getEvent() *Event {
 // kernel path. A free-listed event may therefore briefly pin its last
 // callback and argument; both belong to the same scenario as the kernel,
 // so nothing outlives its owner.
+//
+//wlan:hotpath
 func (k *Kernel) putEvent(e *Event) {
 	e.gen++
 	e.cancel = false
@@ -367,6 +375,16 @@ func (k *Kernel) Stop() { k.stopped = true }
 // maxTime is the far-future deadline Run uses to drain everything.
 const maxTime = Time(math.MaxInt64)
 
+// cohortSeqLess orders cohort keys ascending by seq. It is the fallback
+// comparator for pathologically large cohorts; package-level so the batch
+// drain stays closure-free.
+func cohortSeqLess(a, b heapKey) int {
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
+}
+
 // drainCohort extracts every heap key with timestamp at (the current
 // minimum) into the cohort buffer in one fix-up pass, sorted by seq.
 // Cancelled events encountered during extraction are recycled immediately.
@@ -378,6 +396,8 @@ const maxTime = Time(math.MaxInt64)
 // are refilled from the heap tail, and heap order is repaired with a
 // single descending sift-down pass over the refilled positions — one
 // fix-up pass for the whole cohort instead of one root pop per event.
+//
+//wlan:hotpath
 func (k *Kernel) drainCohort(at Time) {
 	h := k.heap
 	k.crown = append(k.crown[:0], 0)
@@ -423,12 +443,7 @@ func (k *Kernel) drainCohort(at Time) {
 			coh[j+1] = key
 		}
 	} else {
-		slices.SortFunc(coh, func(a, b heapKey) int {
-			if a.seq < b.seq {
-				return -1
-			}
-			return 1
-		})
+		slices.SortFunc(coh, cohortSeqLess)
 	}
 
 	// Compact: fill each hole below the new length from the heap tail,
@@ -466,6 +481,8 @@ func (k *Kernel) drainCohort(at Time) {
 }
 
 // execute runs one live, drained event at key.at.
+//
+//wlan:hotpath
 func (k *Kernel) execute(key heapKey, e *Event) {
 	if key.at < k.now {
 		panic("sim: queue yielded event in the past")
@@ -487,6 +504,8 @@ func (k *Kernel) execute(key heapKey, e *Event) {
 // drainStep executes the next runnable event at or before deadline,
 // refilling the cohort buffer from the heap as needed. It reports false
 // when nothing remains at or before the deadline.
+//
+//wlan:hotpath
 func (k *Kernel) drainStep(deadline Time) bool {
 	for {
 		for k.cohortPos < len(k.cohort) {

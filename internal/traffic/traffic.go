@@ -7,6 +7,7 @@ package traffic
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -360,18 +361,23 @@ func (f *FlowStats) windowSeen(seq uint64) bool {
 // Flow returns stats for a flow ID (nil if nothing arrived).
 func (s *Sink) Flow(id uint32) *FlowStats { return s.flows[id] }
 
-// Flows returns all flow IDs observed.
+// Flows returns all flow IDs observed, in ascending order: callers fold
+// the result into tables and traces, so the order must not leak map
+// iteration (determinism contract).
 func (s *Sink) Flows() []uint32 {
 	ids := make([]uint32, 0, len(s.flows))
+	//wlan:allow-nondeterminism collection order is erased by the sort below
 	for id := range s.flows {
 		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // TotalReceived sums packet counts over flows.
 func (s *Sink) TotalReceived() uint64 {
 	var n uint64
+	//wlan:allow-nondeterminism order-independent integer sum
 	for _, f := range s.flows {
 		n += f.Received
 	}
@@ -381,6 +387,7 @@ func (s *Sink) TotalReceived() uint64 {
 // TotalBytes sums payload bytes over flows.
 func (s *Sink) TotalBytes() uint64 {
 	var n uint64
+	//wlan:allow-nondeterminism order-independent integer sum
 	for _, f := range s.flows {
 		n += f.Bytes
 	}

@@ -36,6 +36,8 @@ func (c *PNCounter) Next() PN {
 }
 
 // ccmNonce builds the 13-byte CCM nonce from the transmitter address and PN.
+//
+//wlan:hotpath
 func ccmNonce(ta [6]byte, pn PN) [13]byte {
 	var n [13]byte
 	n[0] = 0 // flags/priority
@@ -102,6 +104,8 @@ func cbcMAC(block interface{ Encrypt(dst, src []byte) }, nonce [13]byte, aad, pl
 }
 
 // ctrBlock builds the A_i counter block.
+//
+//wlan:hotpath
 func ctrBlock(nonce [13]byte, i uint16) [16]byte {
 	var a [16]byte
 	a[0] = 1 // flags: L-1 with L=2

@@ -48,6 +48,8 @@ func (st *rc4State) init(key []byte) {
 }
 
 // xorKeyStream XORs src with the keystream into dst (may alias).
+//
+//wlan:hotpath
 func (st *rc4State) xorKeyStream(dst, src []byte) {
 	for k := range src {
 		st.i++
@@ -79,6 +81,8 @@ type seedBuf [3 + 13]byte
 // work buffer is dst itself, so a caller that reuses dst across frames
 // (as the net80211 transmit pools do) pays zero allocations per seal.
 // dst must not alias plaintext.
+//
+//wlan:hotpath
 func SealTo(dst []byte, key Key, iv IV, keyID byte, plaintext []byte) ([]byte, error) {
 	if err := key.Validate(); err != nil {
 		return nil, err
@@ -118,6 +122,8 @@ var (
 // wrong key and rely on the ICV to fail by luck — the mismatch is reported
 // as ErrKeyID so callers can count it as a decrypt error. Like SealTo it is
 // allocation-free when dst has capacity. dst must not alias body.
+//
+//wlan:hotpath
 func OpenTo(dst []byte, key Key, keyID byte, body []byte) ([]byte, error) {
 	if err := key.Validate(); err != nil {
 		return nil, err
