@@ -400,6 +400,25 @@ func (n *Network) ConnectDS(ap *Node) {
 	ap.AP.AttachDS(n.DS())
 }
 
+// AddESS builds an extended service set: one AP per position, all
+// beaconing ssid on the shared wired DS, named <ssid>-ap0, <ssid>-ap1, ….
+// cfg applies to every AP (its SSID field is overridden); stations joining
+// ssid roam between the members, and each re-association drops the
+// station's stale entry at its previous AP. Returns the ESS handle and the
+// AP nodes in position order.
+func (n *Network) AddESS(ssid string, positions []geom.Point, cfg net80211.APConfig) (*net80211.ESS, []*Node) {
+	ess := net80211.NewESS(ssid)
+	nodes := make([]*Node, len(positions))
+	cfg.SSID = ssid
+	for i, p := range positions {
+		node := n.AddAP(fmt.Sprintf("%s-ap%d", ssid, i), p, cfg)
+		n.ConnectDS(node)
+		ess.Add(node.AP)
+		nodes[i] = node
+	}
+	return ess, nodes
+}
+
 // --- flows -----------------------------------------------------------------
 
 // Saturate attaches a backlogged flow from src to dst and returns its ID.

@@ -162,3 +162,32 @@ func TestStopTraffic(t *testing.T) {
 		t.Errorf("traffic kept flowing after stop: %d -> %d", before, after)
 	}
 }
+
+// AddESS wires one AP per position onto the shared DS under a common SSID;
+// a station walking the corridor roams between members and the ESS handle
+// tracks its serving AP and the stale-association handoff drops.
+func TestAddESSCorridor(t *testing.T) {
+	net := NewNetwork(Config{Seed: 31})
+	ess, aps := net.AddESS("corr", []geom.Point{geom.Pt(0, 0), geom.Pt(80, 0)}, net80211.APConfig{})
+	if len(aps) != 2 || aps[0].Name != "corr-ap0" || aps[1].Name != "corr-ap1" {
+		t.Fatalf("AddESS nodes = %v", []string{aps[0].Name, aps[1].Name})
+	}
+	sta := net.AddMobileStation("walker",
+		geom.Linear{Start: geom.Pt(5, 0), Velocity: geom.Vector{X: 12}},
+		net80211.STAConfig{SSID: "corr", RoamThreshold: -65, RoamHysteresis: 6})
+	flow := net.CBR(sta, aps[0], 300, 100*sim.Millisecond)
+	net.Run(8 * sim.Second)
+
+	if sta.STA.Stats.Roams == 0 {
+		t.Fatal("walker never roamed")
+	}
+	if got := ess.ServingAP(sta.Address()); got != aps[1].AP {
+		t.Fatalf("walker serving AP = %v, want corr-ap1", got)
+	}
+	if ess.Handoffs() == 0 {
+		t.Fatal("no stale association was dropped over the DS")
+	}
+	if fs := net.FlowStats(flow); fs == nil || fs.Received == 0 {
+		t.Fatal("uplink delivered nothing across the corridor")
+	}
+}

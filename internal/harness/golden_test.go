@@ -120,6 +120,83 @@ func goldenInfra() []string {
 	return rows
 }
 
+// goldenE1 pins a small fixed instance of the E1 density scenario: 24
+// adhoc radios on the 15 m grid with Poisson pair traffic, running through
+// the medium's spatial-index fan-out path. Kernel event count, per-flow
+// goodput bits and per-node MAC/radio counters all pin the index's
+// candidate sets and ordering.
+func goldenE1() []string {
+	p := e1Scenario(sim.DeriveSeed(0xE1, 24), 24, 1*sim.Second)
+	rows := []string{
+		fmt.Sprintf("medium tx=%d events=%d sent=%d received=%d",
+			p.net.Medium().Transmissions, p.events, p.sent, p.received),
+	}
+	for i, f := range p.flows {
+		rows = append(rows, fmt.Sprintf("flow%d tput=%016x", i, math.Float64bits(p.net.FlowThroughput(f))))
+	}
+	for _, n := range p.net.Nodes() {
+		ms := n.MAC.Stats()
+		rs := n.Radio.Stats
+		rows = append(rows, fmt.Sprintf(
+			"%s datatx=%d retries=%d deliver=%d backoff=%d rxok=%d rxerr=%d",
+			n.Name, ms.DataTx, ms.Retries, ms.MSDUDelivered, ms.BackoffSlots,
+			rs.RxFrames, rs.RxErrors))
+	}
+	return rows
+}
+
+// goldenE2 pins the roaming wave at its smallest shape: two stations
+// walking a 3-AP ESS corridor. Roam counts, DS handoff drops, the per-AP
+// association spread and every flow's goodput pin the ESS announcement
+// path end to end.
+func goldenE2() []string {
+	r := e2Scenario(sim.DeriveSeed(0xE2, 0x30002), 3, 2)
+	rows := []string{
+		fmt.Sprintf("medium tx=%d handoffs=%d", r.net.Medium().Transmissions, r.ess.Handoffs()),
+	}
+	for i, ap := range r.ess.APs() {
+		rows = append(rows, fmt.Sprintf("ap%d assoc=%d handoffs=%d beacons=%d",
+			i, ap.AssociatedCount(), ap.Stats.Handoffs, ap.Stats.BeaconsSent))
+	}
+	for j, sta := range r.stas {
+		st := sta.STA.Stats
+		rows = append(rows, fmt.Sprintf("sta%d roams=%d assoc=%d scans=%d tx=%d rx=%d",
+			j, st.Roams, st.Associations, st.Scans, st.TxPayloads, st.RxPayloads))
+	}
+	for i, f := range r.flows {
+		rows = append(rows, fmt.Sprintf("flow%d tput=%016x", i, math.Float64bits(r.net.FlowThroughput(f))))
+	}
+	return rows
+}
+
+// goldenE3 pins the flash crowd at its smallest shape: six stations whose
+// Poisson flows activate at sorted-uniform arrival times. Latency moments
+// are pinned as float bit patterns, so the whole contention timeline is
+// under test.
+func goldenE3() []string {
+	r := e3Scenario(sim.DeriveSeed(0xE3, 6), 6, 1*sim.Second, 1*sim.Second)
+	rows := []string{
+		fmt.Sprintf("medium tx=%d", r.net.Medium().Transmissions),
+	}
+	for i, f := range r.flows {
+		fs := r.net.FlowStats(f)
+		if fs == nil {
+			rows = append(rows, fmt.Sprintf("flow%d empty", i))
+			continue
+		}
+		rows = append(rows, fmt.Sprintf("flow%d rx=%d bytes=%d mean=%016x p95=%016x",
+			i, fs.Received, fs.Bytes,
+			math.Float64bits(fs.Latency.Mean()),
+			math.Float64bits(fs.LatencyH.Quantile(0.95))))
+	}
+	for _, n := range r.net.Nodes() {
+		ms := n.MAC.Stats()
+		rows = append(rows, fmt.Sprintf("%s datatx=%d retries=%d deliver=%d backoff=%d",
+			n.Name, ms.DataTx, ms.Retries, ms.MSDUDelivered, ms.BackoffSlots))
+	}
+	return rows
+}
+
 func TestGoldenTrace(t *testing.T) {
 	if runtime.GOARCH != "amd64" {
 		// Go permits FMA fusion on some architectures, so float sequences
@@ -133,6 +210,9 @@ func TestGoldenTrace(t *testing.T) {
 	}{
 		{"adhoc", goldenAdhoc},
 		{"infra", goldenInfra},
+		{"e1", goldenE1},
+		{"e2", goldenE2},
+		{"e3", goldenE3},
 	}
 	for _, sc := range scenarios {
 		sc := sc

@@ -155,6 +155,8 @@ func expKey(id string) int {
 		base = 0
 	case 'F':
 		base = 100
+	case 'E':
+		base = 300
 	case 'S':
 		base = 1000
 	case 'A':

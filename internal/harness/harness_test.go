@@ -17,7 +17,7 @@ func cell(t *testing.T, tb interface{ Render() string }, rows [][]string, r, c i
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "S1", "A1", "A2"}
+	want := []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "E1", "E2", "E3", "S1", "A1", "A2"}
 	for _, id := range want {
 		if ByID(id) == nil {
 			t.Errorf("experiment %s not registered", id)
@@ -351,5 +351,94 @@ func TestF13PriorityAccess(t *testing.T) {
 	edcaBG := cell(t, tb, tb.Rows, 1, 4)
 	if edcaBG < 0.8*legacyBG {
 		t.Errorf("background throughput collapsed: %.2f -> %.2f", legacyBG, edcaBG)
+	}
+}
+
+func TestE1DensityShape(t *testing.T) {
+	tb := ByID("E1").Run(true)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("quick E1 rows = %d", len(tb.Rows))
+	}
+	// Event rate grows with density, and light Poisson load keeps delivery high.
+	small := cell(t, tb, tb.Rows, 0, 1)
+	large := cell(t, tb, tb.Rows, 1, 1)
+	if large <= small {
+		t.Errorf("events/vs did not grow with density: %.0f -> %.0f", small, large)
+	}
+	for i := range tb.Rows {
+		if d := cell(t, tb, tb.Rows, i, 3); d < 80 {
+			t.Errorf("row %d: delivery %.1f%% too low for light load", i, d)
+		}
+	}
+}
+
+func TestE2RoamingWave(t *testing.T) {
+	tb := ByID("E2").Run(true)
+	for i, row := range tb.Rows {
+		aps := cell(t, tb, tb.Rows, i, 0)
+		stas := cell(t, tb, tb.Rows, i, 1)
+		roams := cell(t, tb, tb.Rows, i, 2)
+		handoffs := cell(t, tb, tb.Rows, i, 3)
+		final := cell(t, tb, tb.Rows, i, 6)
+		// Every station crosses every AP span exactly once.
+		if want := stas * (aps - 1); roams != want {
+			t.Errorf("row %d: %.0f roams, want %.0f", i, roams, want)
+		}
+		if handoffs != roams {
+			t.Errorf("row %d: %.0f handoffs for %.0f roams — DS announcements missed stale associations", i, handoffs, roams)
+		}
+		if final != stas {
+			t.Errorf("row %d: only %.0f/%.0f stations ended on the far AP", i, final, stas)
+		}
+		if d := cell(t, tb, tb.Rows, i, 4); d < 50 {
+			t.Errorf("row %d (%v): delivery %.1f%% too low", i, row[0], d)
+		}
+	}
+}
+
+func TestE3FlashCrowd(t *testing.T) {
+	tb := ByID("E3").Run(true)
+	for i := range tb.Rows {
+		if agg := cell(t, tb, tb.Rows, i, 1); agg <= 0 {
+			t.Errorf("row %d: no aggregate goodput", i)
+		}
+		if d := cell(t, tb, tb.Rows, i, 2); d < 50 {
+			t.Errorf("row %d: delivery %.1f%%", i, d)
+		}
+		mean := cell(t, tb, tb.Rows, i, 3)
+		p95 := cell(t, tb, tb.Rows, i, 4)
+		if mean <= 0 || p95 <= 0 {
+			t.Errorf("row %d: degenerate latency mean=%.3f p95=%.3f", i, mean, p95)
+		}
+	}
+}
+
+func TestCostHintsAndRunPoints(t *testing.T) {
+	// The E family's grids are heavily skewed, which is exactly what the
+	// Cost hints exist for: costs must be positive and strictly increasing
+	// with density so LPT binning and work stealing can balance shards.
+	g := ByID("E1").Grid(true)
+	costs := g.Costs()
+	if len(costs) != g.N {
+		t.Fatalf("Costs returned %d entries for %d points", len(costs), g.N)
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i] <= costs[i-1] || costs[i-1] <= 0 {
+			t.Fatalf("E1 cost hints not increasing: %v", costs)
+		}
+	}
+	// A grid without hints reports uniform unit cost.
+	uniform := &Grid{N: 3}
+	if uniform.PointCost(1) != 1 {
+		t.Fatalf("hintless PointCost = %v, want 1", uniform.PointCost(1))
+	}
+	// RunPoints evaluates an explicit shard and returns rows per point,
+	// identical to what a full Run would produce for those points.
+	rows := g.RunPoints([]int{1, 0})
+	if len(rows) != 2 || len(rows[0]) != 1 || len(rows[1]) != 1 {
+		t.Fatalf("RunPoints shape = %v", rows)
+	}
+	if rows[0][0][0] != "200" || rows[1][0][0] != "50" {
+		t.Fatalf("RunPoints order not preserved: %v / %v", rows[0][0], rows[1][0])
 	}
 }

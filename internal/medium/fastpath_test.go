@@ -5,6 +5,10 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/phy"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/units"
 )
 
 // addStatic places a radio with the quiet listener at (x, 0).
@@ -45,8 +49,8 @@ func TestTransmitFanoutAllocsBounded(t *testing.T) {
 	}
 }
 
-// A receiver far outside detection range is pruned from the neighbor list;
-// moving it into range must invalidate the list and resume delivery.
+// A receiver far outside detection range is pruned by the spatial index;
+// moving it into range must rebuild the index and resume delivery.
 func TestNeighborListInvalidation(t *testing.T) {
 	k, m := testbed(7)
 	tx := addStatic(m, "tx", 0)
@@ -61,14 +65,61 @@ func TestNeighborListInvalidation(t *testing.T) {
 	if len(rec.frames) != 0 {
 		t.Fatalf("radio 10000 km away decoded %d frames", len(rec.frames))
 	}
-	if m.neighborsOK[tx.id] && len(m.neighbors[tx.id]) != 0 {
-		t.Fatalf("far radio still in neighbor list: %v", m.neighbors[tx.id])
+	if !m.sp.ok {
+		t.Fatal("free-space model should enable the spatial index")
+	}
+	if m.sp.cellOf[far.id] == m.sp.cellOf[tx.id] {
+		t.Fatalf("radio 10000 km away shares cell %v with the transmitter", m.sp.cellOf[tx.id])
 	}
 
 	far.SetMobility(geom.Static{P: geom.Pt(5, 0)})
+	if !m.gridDirty {
+		t.Fatal("SetMobility must mark the spatial index for rebuild")
+	}
 	k.Schedule(0, "tx", func() { tx.Transmit(dataFrame(200), 0) })
 	k.Run()
 	if len(rec.frames) != 1 {
 		t.Fatalf("moved-in radio decoded %d frames, want 1", len(rec.frames))
+	}
+}
+
+// The pre-index neighbor-list path still serves models the spatial index
+// cannot bound (here: shadowing present, loss time-invariant). A margin
+// change must stale every cached list in one epoch bump, not per-radio.
+func TestNeighborListShadowedPath(t *testing.T) {
+	k := sim.NewKernel()
+	src := rng.New(11)
+	model := spectrum.NewModel(
+		spectrum.FreeSpace{Freq: 2412 * units.MHz},
+		spectrum.NewShadowing(src.Split("shadow"), 3), nil)
+	m := New(k, model, src)
+	tx := addStatic(m, "tx", 0)
+	rec := &recorder{k: k}
+	m.AddRadio(RadioConfig{
+		Name: "rx", Mode: phy.Mode80211b(),
+		Mobility: geom.Static{P: geom.Pt(5, 0)}, TxPower: 15, Listener: rec,
+	})
+	if m.sp.enabled {
+		t.Fatal("shadowed model must not enable the spatial index")
+	}
+
+	k.Schedule(0, "tx", func() { tx.Transmit(dataFrame(200), 0) })
+	k.Run()
+	if len(rec.frames) != 1 {
+		t.Fatalf("near receiver decoded %d frames, want 1", len(rec.frames))
+	}
+	if m.neighborBuilt[tx.id] != m.neighborEpoch {
+		t.Fatal("transmit should have built the neighbor list")
+	}
+
+	epoch := m.neighborEpoch
+	m.DetectionMarginDB = 20
+	k.Schedule(0, "tx", func() { tx.Transmit(dataFrame(200), 0) })
+	k.Run()
+	if m.neighborEpoch != epoch+1 {
+		t.Fatalf("margin change bumped the epoch by %d, want exactly 1", m.neighborEpoch-epoch)
+	}
+	if len(rec.frames) != 2 {
+		t.Fatalf("receiver decoded %d frames after margin change, want 2", len(rec.frames))
 	}
 }

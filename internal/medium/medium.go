@@ -6,6 +6,20 @@
 // The medium is the substitute for over-the-air hardware: a MAC attached to
 // a Radio observes exactly the signals a driver sees — CCA busy/idle edges,
 // decoded frames with RSSI/SINR metadata, FCS errors and TX completions.
+//
+// # Fan-out pruning and the spatial index
+//
+// On fading-free channels whose path-loss model can bound detection range
+// (spectrum.RangeBounder), transmit fan-out walks a uniform-grid spatial
+// index instead of every radio. The index's invalidation contract: topology
+// mutations — AddRadio, SetMobility and DetectionMarginDB changes, all of
+// which can change detection ranges or the cell size — rebuild it from
+// scratch before the next transmission, while ordinary mobility migrates
+// radios between cells incrementally (once per distinct transmission
+// timestamp, driven by geom.Mobility positions). Pruning is always a
+// conservative superset of the exact per-receiver power filter, and
+// candidates are walked in ascending radio-id order, so delivered arrivals
+// and event order are bit-identical to the all-pairs walk.
 package medium
 
 import (
@@ -87,13 +101,25 @@ type transmission struct {
 // linkCacheEntry caches the propagation physics of one directed static
 // radio pair: received power (excluding fast fading), its linear-milliwatt
 // conversion (a math.Pow otherwise re-done per arrival), and propagation
-// delay.
+// delay. Entries live in a direct-mapped cache (linkWays slots per
+// transmitter) tagged by receiver id plus both endpoints' invalidation
+// generations: a stale or evicted entry is simply recomputed, which is
+// bit-identical because link physics is a pure function of the endpoints.
 type linkCacheEntry struct {
 	power   units.DBm
 	powerMW float64
 	delay   sim.Duration
-	known   bool
+	rxTag   int32 // rx.id+1; 0 marks an empty slot
+	txGen   uint32
+	rxGen   uint32
 }
+
+// linkWays is the per-transmitter associativity of the link cache. Must be
+// a power of two. The old row-major [tx][rx] layout was O(N²) memory —
+// ~4 GB at 10k radios — where this is linkWays×N entries total; at city
+// scale the spatial index keeps fan-outs local, so the slots a transmitter
+// actually uses stay far below N.
+const linkWays = 64
 
 // Medium couples radios to the propagation model.
 type Medium struct {
@@ -116,22 +142,35 @@ type Medium struct {
 	Transmissions uint64
 
 	// Fast-path state: pooled transmissions/arrivals/decoded frames and the
-	// per-link gain cache (row-major [tx.id][rx.id], static pairs only).
+	// per-link gain cache (direct-mapped, linkWays slots per transmitter,
+	// static pairs only). linkGen[i] is radio i's invalidation generation:
+	// bumping it orphans every cached entry touching i in O(1).
 	txPool      []*transmission
 	arrPool     []*arrival
 	framePool   []*frame.Frame
 	links       []linkCacheEntry
+	linkGen     []uint32
 	shadowConst bool // shadow gain is time-invariant: base power cacheable
 	noFast      bool // no fast fading: cached power is the exact rx power
+	noShadow    bool // no shadowing either: loss is pure distance, so the
+	// spatial index's range bounds hold
+
+	// sp is the uniform-grid spatial index (see grid.go); gridDirty marks
+	// it stale after topology mutations.
+	sp        spatial
+	gridDirty bool
 
 	// neighbors[i] caches, for static transmitter i on a fading-free
-	// channel, the radios its transmissions can possibly reach: every
+	// channel whose loss cannot be range-bounded (so the spatial index is
+	// unavailable), the radios its transmissions can possibly reach: every
 	// non-static radio plus each static radio whose link power clears the
 	// detection margin. Fan-out walks this list instead of all radios.
 	// Channel mismatches are still filtered per transmission, so channel
-	// switches need no invalidation; mobility and margin changes do.
+	// switches need no invalidation; mobility and margin changes do — by
+	// bumping neighborEpoch, which stales every list in O(1).
 	neighbors      [][]*Radio
-	neighborsOK    []bool
+	neighborBuilt  []uint64
+	neighborEpoch  uint64
 	neighborMargin float64
 }
 
@@ -148,9 +187,23 @@ func New(k *sim.Kernel, model *spectrum.Model, src *rng.Source) *Medium {
 	case spectrum.NoFading, *spectrum.Shadowing:
 		m.shadowConst = true
 	}
+	if _, ok := model.Shadow.(spectrum.NoFading); ok {
+		m.noShadow = true
+	}
 	if _, ok := model.Fast.(spectrum.NoFading); ok {
 		m.noFast = true
 	}
+	// The spatial index needs loss to be a pure, invertible function of
+	// distance: no fast fading, no shadowing, and a range-boundable
+	// path-loss model. Shadowing is excluded even though it is
+	// time-invariant — its per-link Gaussian offset is unbounded, so no
+	// distance can guarantee a link stays below the detection threshold.
+	if rb, ok := model.PathLoss.(spectrum.RangeBounder); ok && m.noFast && m.noShadow {
+		m.sp.bounder = rb
+		m.sp.enabled = true
+	}
+	m.sp.cells = make(map[cellKey][]int32)
+	m.neighborEpoch = 1 // zero-valued neighborBuilt entries read as stale
 	return m
 }
 
@@ -226,24 +279,29 @@ func (m *Medium) AddRadio(cfg RadioConfig) *Radio {
 		r.listener.OnTxDone()
 	}
 	m.radios = append(m.radios, r)
-	// The cache is sized n*n; adding a radio resizes and clears it.
-	n := len(m.radios)
-	m.links = make([]linkCacheEntry, n*n)
+	// Grow the direct-mapped link cache by one transmitter row; fresh
+	// zero entries carry no tags, so nothing needs clearing.
+	var empty [linkWays]linkCacheEntry
+	m.links = append(m.links, empty[:]...)
+	m.linkGen = append(m.linkGen, 0)
 	m.neighbors = append(m.neighbors, nil)
-	m.neighborsOK = make([]bool, n)
+	m.neighborBuilt = append(m.neighborBuilt, 0)
+	// The new radio may appear in any transmitter's fan-out, and its noise
+	// floor can tighten every detection range: stale every neighbor list
+	// and rebuild the spatial index before the next transmission.
+	m.neighborEpoch++
+	m.gridDirty = true
 	return r
 }
 
-// invalidateLinks drops cached gains for every link touching radio id, and
-// every neighbor list (the radio may have entered or left detection range
-// of any transmitter).
+// invalidateLinks drops cached gains for every link touching radio id
+// (O(1): the radio's generation advances, orphaning its tagged entries),
+// stales every neighbor list (the radio may have entered or left detection
+// range of any transmitter), and marks the spatial index for rebuild.
 func (m *Medium) invalidateLinks(id int) {
-	n := len(m.radios)
-	for j := 0; j < n; j++ {
-		m.links[id*n+j] = linkCacheEntry{}
-		m.links[j*n+id] = linkCacheEntry{}
-		m.neighborsOK[j] = false
-	}
+	m.linkGen[id]++
+	m.neighborEpoch++
+	m.gridDirty = true
 }
 
 // neighborCandidates returns (building lazily if needed) the fan-out list
@@ -252,12 +310,10 @@ func (m *Medium) invalidateLinks(id int) {
 // here is bit-identical to filtering inside the fan-out loop.
 func (m *Medium) neighborCandidates(r *Radio, t *transmission) []*Radio {
 	if m.DetectionMarginDB != m.neighborMargin {
-		for i := range m.neighborsOK {
-			m.neighborsOK[i] = false
-		}
+		m.neighborEpoch++ // one bump stales every list
 		m.neighborMargin = m.DetectionMarginDB
 	}
-	if m.neighborsOK[r.id] {
+	if m.neighborBuilt[r.id] == m.neighborEpoch {
 		return m.neighbors[r.id]
 	}
 	list := m.neighbors[r.id][:0]
@@ -277,7 +333,7 @@ func (m *Medium) neighborCandidates(r *Radio, t *transmission) []*Radio {
 		}
 	}
 	m.neighbors[r.id] = list
-	m.neighborsOK[r.id] = true
+	m.neighborBuilt[r.id] = m.neighborEpoch
 	return list
 }
 
@@ -365,27 +421,29 @@ func (m *Medium) Radios() []*Radio { return m.radios }
 // caller must convert (fast fading applied, or the link is uncacheable).
 func (m *Medium) linkPhysics(r, rx *Radio, t *transmission) (units.DBm, float64, sim.Duration) {
 	linkID := uint64(r.id)<<20 | uint64(rx.id)
-	lc := &m.links[r.id*len(m.radios)+rx.id]
-	if !lc.known {
-		rxPos := rx.mobility.PositionAt(t.start)
-		if m.shadowConst && r.static && rx.static {
+	if m.shadowConst && r.static && rx.static {
+		lc := &m.links[r.id*linkWays+rx.id&(linkWays-1)]
+		if lc.rxTag != int32(rx.id)+1 || lc.txGen != m.linkGen[r.id] || lc.rxGen != m.linkGen[rx.id] {
+			rxPos := rx.mobility.PositionAt(t.start)
 			base := r.txPower.Add(-m.model.PathLoss.Loss(t.txPos, rxPos)).Add(m.model.Shadow.Gain(linkID, t.start))
 			d := t.txPos.Distance(rxPos)
 			lc.power = base
 			lc.powerMW = linearOrZero(base)
 			lc.delay = sim.Duration(d / units.SpeedOfLight * float64(sim.Second))
-			lc.known = true
-		} else {
-			power := m.model.RxPower(r.txPower, t.txPos, rxPos, linkID, t.start)
-			d := t.txPos.Distance(rxPos)
-			return power, -1, sim.Duration(d / units.SpeedOfLight * float64(sim.Second))
+			lc.rxTag = int32(rx.id) + 1
+			lc.txGen = m.linkGen[r.id]
+			lc.rxGen = m.linkGen[rx.id]
 		}
+		if !m.noFast {
+			power := lc.power.Add(m.model.Fast.Gain(linkID, t.start))
+			return power, -1, lc.delay
+		}
+		return lc.power, lc.powerMW, lc.delay
 	}
-	if !m.noFast {
-		power := lc.power.Add(m.model.Fast.Gain(linkID, t.start))
-		return power, -1, lc.delay
-	}
-	return lc.power, lc.powerMW, lc.delay
+	rxPos := rx.mobility.PositionAt(t.start)
+	power := m.model.RxPower(r.txPower, t.txPos, rxPos, linkID, t.start)
+	d := t.txPos.Distance(rxPos)
+	return power, -1, sim.Duration(d / units.SpeedOfLight * float64(sim.Second))
 }
 
 // transmit puts a wire image on the air from radio r.
@@ -413,8 +471,14 @@ func (m *Medium) transmit(r *Radio, f *frame.Frame, rate phy.RateIdx) sim.Durati
 	}
 
 	// Deliver arrival start/end events to every other radio on the channel.
+	// Candidate pruning — the spatial index when the model supports it,
+	// else the per-transmitter neighbor list — only ever drops receivers
+	// the power filter below would drop, and preserves ascending-id
+	// order, so the delivered arrivals are identical to the full walk.
 	cands := m.radios
-	if m.noFast && m.shadowConst && r.static {
+	if m.sp.enabled && m.gridReady() {
+		cands = m.gridCandidates(r, t)
+	} else if m.noFast && m.shadowConst && r.static {
 		cands = m.neighborCandidates(r, t)
 	}
 	for _, rx := range cands {

@@ -95,6 +95,7 @@ type APStats struct {
 	PSDelivered   uint64
 	PSDropped     uint64
 	DecryptErrors uint64
+	Handoffs      uint64 // stale associations dropped on ESS roam announcements
 }
 
 // AP is an access point: one DCF below, beacon scheduler and association
@@ -376,6 +377,23 @@ func (ap *AP) handleMgmt(f *frame.Frame, _ medium.RxInfo) {
 	}
 }
 
+// dropStation removes a roamed-away station's association state. Called on
+// ESS handoff announcements from the DS; a station that was never
+// associated here is a no-op (its own AP hears its announcement too, but
+// the switch never reflects a frame back to its source port).
+func (ap *AP) dropStation(addr frame.MACAddr) {
+	e := ap.stations[addr]
+	if e == nil || !e.assoc {
+		return
+	}
+	e.assoc = false
+	e.authed = false
+	e.ps = false
+	e.psBuf = nil
+	delete(ap.byAID, e.aid)
+	ap.Stats.Handoffs++
+}
+
 func (ap *AP) handleProbe(f *frame.Frame) {
 	// A probe request body is a bare IE list; respond to wildcard probes
 	// and to probes naming our SSID. LookupIE reads the SSID as a view of
@@ -637,7 +655,12 @@ func clonePayload(p []byte) []byte {
 // fromDS handles frames arriving from the wired side.
 func (ap *AP) fromDS(ef ether.Frame) {
 	if ef.Payload == nil {
-		return // learning announcement
+		// A peer AP in the ESS announced this address on the wire: the
+		// station (re)associated there. If it was associated here it has
+		// roamed away — drop the stale entry so in-BSS relay and
+		// power-save buffering stop black-holing its traffic.
+		ap.dropStation(ef.Src)
+		return
 	}
 	switch {
 	case ef.Dst == ap.BSSID():

@@ -1,0 +1,82 @@
+package net80211
+
+import (
+	"testing"
+
+	"repro/internal/ether"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/units"
+)
+
+// An ESS tracks membership and per-station serving AP across a roam, and
+// its handoff counter reflects the DS announcements that drop stale
+// associations on the old AP.
+func TestESSTracksRoam(t *testing.T) {
+	w := newWorld(21, spectrum.NewLogDistance(2412*units.MHz, 3.5))
+	sw := ether.NewSwitch(w.k, 10*sim.Microsecond)
+
+	ess := NewESS("ess")
+	ap1 := NewAP(w.k, w.dcf("ap1", geom.Pt(0, 0), 1), APConfig{SSID: "ess"})
+	ap2 := NewAP(w.k, w.dcf("ap2", geom.Pt(120, 0), 1), APConfig{SSID: "ess"})
+	ap1.AttachDS(sw)
+	ap2.AttachDS(sw)
+	ess.Add(ap1)
+	ess.Add(ap2)
+	if ess.SSID() != "ess" || len(ess.APs()) != 2 {
+		t.Fatalf("ess = %q with %d APs", ess.SSID(), len(ess.APs()))
+	}
+
+	mob := geom.Linear{Start: geom.Pt(5, 0), Velocity: geom.Vector{X: 10}}
+	sta := NewSTA(w.k, w.mobileDCF("sta", mob, 1), STAConfig{
+		SSID: "ess", RoamThreshold: -65, RoamHysteresis: 3,
+	})
+
+	w.k.RunUntil(sim.Time(2 * sim.Second))
+	if got := ess.ServingAP(sta.Address()); got != ap1 {
+		t.Fatalf("before the walk ServingAP = %v, want ap1", got)
+	}
+	if counts := ess.AssociatedCounts(); counts[0] != 1 || counts[1] != 0 {
+		t.Fatalf("associated counts before roam = %v", counts)
+	}
+
+	// Keep traffic flowing so post-roam uplink announces over the DS.
+	hostAddr := w.alloc.Next()
+	sw.AddPort(func(ether.Frame) {})
+	w.k.Ticker(50*sim.Millisecond, "uplink", func() {
+		if sta.Associated() {
+			sta.Send(hostAddr, []byte("ping"))
+		}
+	})
+	w.k.RunUntil(sim.Time(12 * sim.Second))
+
+	if got := ess.ServingAP(sta.Address()); got != ap2 {
+		t.Fatalf("after the walk ServingAP = %v, want ap2", got)
+	}
+	if counts := ess.AssociatedCounts(); counts[0] != 0 || counts[1] != 1 {
+		t.Fatalf("associated counts after roam = %v (stale association not dropped)", counts)
+	}
+	if ess.Handoffs() == 0 || ap1.Stats.Handoffs == 0 {
+		t.Fatalf("DS announcement dropped no stale association (ess=%d ap1=%d)",
+			ess.Handoffs(), ap1.Stats.Handoffs)
+	}
+	if ess.ServingAP(frame.MACAddr{0xde, 0xad}) != nil {
+		t.Fatal("unknown address reports a serving AP")
+	}
+}
+
+// Adding an AP whose SSID differs from the ESS's is a configuration bug
+// and must panic rather than silently split the service set.
+func TestESSAddWrongSSIDPanics(t *testing.T) {
+	w := newWorld(22, spectrum.FreeSpace{Freq: 2412 * units.MHz})
+	ess := NewESS("alpha")
+	ap := NewAP(w.k, w.dcf("ap", geom.Pt(0, 0), 1), APConfig{SSID: "beta"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add accepted an AP with a mismatched SSID")
+		}
+	}()
+	ess.Add(ap)
+}

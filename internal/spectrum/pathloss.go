@@ -25,6 +25,26 @@ type PathLoss interface {
 	Loss(tx, rx geom.Point) units.DB
 }
 
+// RangeBounder is an optional PathLoss capability: models whose loss is a
+// monotone non-decreasing function of distance can invert it, letting the
+// medium bound how far a transmission can possibly clear a receiver's
+// detection threshold and prune fan-out spatially. Models whose loss
+// depends on more than pairwise distance (per-point antenna heights,
+// explicit loss matrices) must not implement it.
+type RangeBounder interface {
+	// MaxRange returns an upper bound on the distance in metres at which
+	// the model's loss can still be at most maxLoss dB. Implementations
+	// must be conservative: overestimating the range only costs pruning
+	// efficiency, while underestimating it would drop reachable
+	// receivers and break the medium's exact-filter equivalence.
+	MaxRange(maxLoss units.DB) float64
+}
+
+// rangeSafety inflates inverted ranges by one part in a million so that
+// floating-point round-trip error in the inversion can never prune a
+// receiver the exact per-transmission filter would keep.
+const rangeSafety = 1 + 1e-6
+
 // FreeSpace is the Friis free-space model:
 // L = 20 log10(4 pi d / lambda).
 type FreeSpace struct {
@@ -39,6 +59,17 @@ func (f FreeSpace) Loss(tx, rx geom.Point) units.DB {
 	}
 	lambda := f.Freq.Wavelength()
 	return units.DB(20 * math.Log10(4*math.Pi*d/lambda))
+}
+
+// MaxRange implements RangeBounder by inverting the Friis formula.
+func (f FreeSpace) MaxRange(maxLoss units.DB) float64 {
+	lambda := f.Freq.Wavelength()
+	d := lambda / (4 * math.Pi) * math.Pow(10, float64(maxLoss)/20)
+	if d < 1 {
+		// Loss clamps below 1 m, so no greater distance can do better.
+		d = 1
+	}
+	return d * rangeSafety
 }
 
 // LogDistance generalises free space with a path-loss exponent: free-space
@@ -67,6 +98,26 @@ func (l LogDistance) Loss(tx, rx geom.Point) units.DB {
 	}
 	l0 := FreeSpace{Freq: l.Freq}.Loss(tx, tx.Add(geom.Vector{X: ref}))
 	return l0 + units.DB(10*l.Exponent*math.Log10(d/ref))
+}
+
+// MaxRange implements RangeBounder by inverting the log-distance curve.
+// A non-positive exponent cannot be inverted; the +Inf return tells the
+// medium the range is unbounded and spatial pruning must stay off.
+func (l LogDistance) MaxRange(maxLoss units.DB) float64 {
+	if l.Exponent <= 0 {
+		return math.Inf(1)
+	}
+	ref := l.RefDist
+	if ref <= 0 {
+		ref = 1
+	}
+	l0 := FreeSpace{Freq: l.Freq}.Loss(geom.Point{}, geom.Point{X: ref})
+	d := ref * math.Pow(10, float64(maxLoss-l0)/(10*l.Exponent))
+	if d < ref {
+		// Loss clamps below the reference distance.
+		d = ref
+	}
+	return d * rangeSafety
 }
 
 // TwoRayGround models ground reflection: free space up to the crossover

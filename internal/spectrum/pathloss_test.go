@@ -237,3 +237,65 @@ func TestCompositeModelWithFading(t *testing.T) {
 		t.Errorf("fading did not straddle the deterministic level: min=%v max=%v", min, max)
 	}
 }
+
+// MaxRange must be a conservative inversion: any distance within the
+// returned range incurs at most maxLoss, and (beyond the near-field
+// clamp) distances past it incur more. The medium's spatial index prunes
+// with this bound, so an optimistic return would silently drop arrivals.
+func TestMaxRangeConservative(t *testing.T) {
+	bounders := []struct {
+		name  string
+		model interface {
+			PathLoss
+			RangeBounder
+		}
+	}{
+		{"freespace", FreeSpace{Freq: 2412 * units.MHz}},
+		{"logdist-2.4", NewLogDistance(2412*units.MHz, 2.4)},
+		{"logdist-4", NewLogDistance(5200*units.MHz, 4.0)},
+	}
+	for _, b := range bounders {
+		for maxLoss := units.DB(45); maxLoss <= 130; maxLoss += 7 {
+			d := b.model.MaxRange(maxLoss)
+			if d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+				t.Fatalf("%s: MaxRange(%v) = %v", b.name, maxLoss, d)
+			}
+			// When the budget is below even the 1 m clamp loss, no
+			// distance satisfies it and the clamped return is trivially a
+			// superset; the tightness checks only apply when satisfiable.
+			if b.model.Loss(geom.Pt(0, 0), geom.Pt(1, 0)) > maxLoss {
+				continue
+			}
+			inside := b.model.Loss(geom.Pt(0, 0), geom.Pt(d/(1+1e-5), 0))
+			if float64(inside) > float64(maxLoss) {
+				t.Errorf("%s: loss %v just inside MaxRange(%v)=%.3fm exceeds the bound",
+					b.name, inside, maxLoss, d)
+			}
+			if d > 2 { // beyond the 1 m near-field clamp
+				outside := b.model.Loss(geom.Pt(0, 0), geom.Pt(d*1.05, 0))
+				if float64(outside) <= float64(maxLoss) {
+					t.Errorf("%s: loss %v at 1.05x MaxRange(%v) still within the bound — range not tight",
+						b.name, outside, maxLoss)
+				}
+			}
+		}
+	}
+}
+
+// Degenerate bounder inputs: tiny loss budgets clamp to the 1 m near
+// field, and a non-invertible log-distance exponent reports an unbounded
+// range so the medium keeps spatial pruning off.
+func TestMaxRangeEdgeCases(t *testing.T) {
+	fs := FreeSpace{Freq: 2412 * units.MHz}
+	if d := fs.MaxRange(-30); d < 1 || d > 1.001 {
+		t.Errorf("free-space MaxRange(-30 dB) = %v, want the 1 m clamp", d)
+	}
+	flat := LogDistance{Freq: 2412 * units.MHz, Exponent: 0}
+	if d := flat.MaxRange(100); !math.IsInf(d, 1) {
+		t.Errorf("exponent-0 MaxRange = %v, want +Inf", d)
+	}
+	ld := NewLogDistance(2412*units.MHz, 3)
+	if d := ld.MaxRange(10); d < 1 || d > 1.001 {
+		t.Errorf("log-distance MaxRange below the reference loss = %v, want the 1 m reference clamp", d)
+	}
+}
