@@ -11,6 +11,12 @@
 //	experiments -shards 8       # fan each sweep out to 8 worker subprocesses
 //	experiments -agent :7101    # serve sweep chunks to a remote coordinator
 //	experiments -agents h1:7101,h2:7101   # dispatch across a cluster fleet
+//	experiments -metrics :9090  # serve Prometheus /metrics (+ pprof) while running
+//
+// -metrics works in every mode — sequential, coordinator, agent and
+// worker — and announces the bound address on stderr as "metrics
+// listening <addr>". Instrumentation is determinism-safe: tables stay
+// byte-identical with metrics on (see repro/internal/obs).
 //
 // With -shards N (N ≥ 2) the command becomes a sweep orchestrator: it
 // re-execs itself once per shard as `experiments -shard i/N -experiment F3
@@ -58,7 +64,10 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/cluster/faultnet"
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
@@ -76,8 +85,19 @@ func main() {
 		agents  = flag.String("agents", "", "coordinator mode: comma-separated agent addresses to dispatch sweeps across (an implicit local agent is always added)")
 		ckpt    = flag.String("checkpoint", "", "journal verified chunks to this file and resume from it on restart (requires -experiment)")
 		chaos   = flag.Int64("chaos", 0, "with -agent: serve through the seeded faultnet injector (0 = off)")
+		metrics = flag.String("metrics", "", "serve Prometheus /metrics (+ pprof) on this address (e.g. :9090, :0 picks a port) and enable live instrumentation")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		obs.SetEnabled(true)
+		core.MetricsEvery = 100 * sim.Millisecond
+		addr, err := obs.Serve(*metrics, obs.Default)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics listening %s\n", addr)
+	}
 
 	if *list {
 		for _, e := range harness.All() {

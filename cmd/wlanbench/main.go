@@ -7,11 +7,23 @@
 //
 //	wlanbench [-ids F1,F2] [-runs 3] [-full] [-workers N] [-shards N] \
 //	          [-clusteragents N | -agents h1:p,h2:p] \
-//	          [-baseline old.json] [-out BENCH_PR9.json]
+//	          [-baseline old.json] [-out BENCH_PR10.json]
 //
 // With -baseline, the report embeds the older report and per-experiment
 // speedup factors, which is how BENCH_PR1.json records the pre-PR seed
 // numbers next to the current ones.
+//
+// Every sequential measurement is an instrumentation A/B: each experiment
+// is measured with metrics off and again with the obs registry live
+// (enabled flag set, 100 ms flush cadence — exactly the -metrics runtime
+// configuration), and the report carries both columns plus the events/s
+// overhead percentage. That is the number the <2% observability budget is
+// enforced against (see PERFORMANCE.md).
+//
+// With -metrics addr, the command additionally serves the Prometheus
+// /metrics endpoint (plus pprof) while benching — and in -agent mode,
+// while serving sweep chunks, which is how a fleet of bench agents is
+// scraped mid-run.
 //
 // With -shards N (N ≥ 2), every experiment is additionally measured
 // through the multi-process sweep engine (internal/sweep): the command
@@ -66,6 +78,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -73,6 +86,8 @@ import (
 	"repro/internal/cluster/faultnet"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -106,6 +121,14 @@ type ExpResult struct {
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	Rows         int     `json:"rows"`
+	// The same measurement with live instrumentation on (obs registry
+	// enabled, 100 ms flush cadence): the metrics-on column of the A/B.
+	// MetricsOverheadPct is the events/s cost of -metrics — the median of
+	// the paired off/on ratios (see measureAB) — the number the <2%
+	// observability budget bounds (negative values are run-to-run noise).
+	MetricsNsPerOp      int64   `json:"metrics_ns_per_op,omitempty"`
+	MetricsEventsPerSec float64 `json:"metrics_events_per_sec,omitempty"`
+	MetricsOverheadPct  float64 `json:"metrics_overhead_pct,omitempty"`
 	// Versus the baseline report, when one was supplied.
 	SpeedupNs     float64 `json:"speedup_ns,omitempty"`
 	AllocsRatio   float64 `json:"allocs_ratio,omitempty"`
@@ -145,13 +168,24 @@ func main() {
 	baseline := flag.String("baseline", "", "older report to embed and compare against")
 	chaosSeed := flag.Int64("chaos", 0, "chaos mode: run each experiment's cluster sweep under the seeded faultnet injector and assert byte-identity with sequential (0 = off)")
 	ckpt := flag.String("checkpoint", "", "journal the cluster measurement's verified chunks to this file (per-experiment suffix added) and resume on restart")
-	out := flag.String("out", "BENCH_PR9.json", "output path (- for stdout)")
+	out := flag.String("out", "BENCH_PR10.json", "output path (- for stdout)")
 	note := flag.String("note", "", "free-form measurement note recorded in the report (';'-separated)")
 	failAllocs := flag.String("failallocs", "", "report whose per-experiment allocs/op are a hard ceiling: exit non-zero on any increase (allocs are deterministic, unlike wall times)")
 	failEvents := flag.String("failevents", "", "report whose per-experiment events/s are a regression floor: exit non-zero when throughput drops below -eventsslack of the recorded value")
 	eventsSlack := flag.Float64("eventsslack", 0.6, "fraction of the -failevents floor that must be met (wall throughput is noisy; the floor catches collapses, not jitter)")
 	soak := flag.Duration("soak", 0, "soak mode: run a fixed-seed saturated scenario for this wall duration, sampling MemStats to assert 0 allocs/op steady state and flat RSS")
+	metrics := flag.String("metrics", "", "serve Prometheus /metrics (+ pprof) on this address (e.g. :9090, :0 picks a port) and enable live instrumentation")
 	flag.Parse()
+
+	if *metrics != "" {
+		obs.SetEnabled(true)
+		core.MetricsEvery = 100 * sim.Millisecond
+		maddr, err := obs.Serve(*metrics, obs.Default)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics listening %s\n", maddr)
+	}
 
 	harness.Workers = *workers
 
@@ -294,7 +328,7 @@ func main() {
 	allocsRegressed := false
 	eventsRegressed := false
 	for _, e := range exps {
-		r := measure(e, *runs, !*full)
+		r := measureAB(e, *runs, !*full)
 		if runner != nil {
 			sh, err := measureSharded(e, runner, r.NsPerOp)
 			if err != nil {
@@ -362,8 +396,8 @@ func main() {
 			}
 		}
 		rep.Experiments = append(rep.Experiments, r)
-		fmt.Fprintf(os.Stderr, "%-4s %12d ns/op %10d allocs/op %12.0f events/s",
-			r.ID, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+		fmt.Fprintf(os.Stderr, "%-4s %12d ns/op %10d allocs/op %12.0f events/s   metrics %+.2f%%",
+			r.ID, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec, r.MetricsOverheadPct)
 		if r.Sharded != nil {
 			fmt.Fprintf(os.Stderr, "   sharded(%d) %12d ns/op (%.2fx)",
 				r.Sharded.Shards, r.Sharded.NsPerOp, r.Sharded.SpeedupVsSeq)
@@ -441,6 +475,60 @@ func measure(e *harness.Experiment, runs int, quick bool) ExpResult {
 		EventsPerSec: round2(float64(events) / wall.Seconds()),
 		Rows:         rows,
 	}
+}
+
+// abPairs is how many off/on measurement pairs measureAB takes per
+// experiment. The overhead column is the median of the per-pair ratios.
+const abPairs = 5
+
+// measureAB measures e with instrumentation off and on with the -metrics
+// runtime configuration (obs registry enabled, 100 ms flush cadence) and
+// attaches the metrics-on column plus the events/s overhead percentage.
+// Wall throughput on a shared host is noisy, so the A/B uses a paired
+// design: each pair measures off then on back-to-back — slow drift in
+// host load lands on both sides of a pair alike — and the reported
+// overhead is the median of the per-pair ratios, discarding outlier
+// pairs that caught a load spike. The headline columns keep each side's
+// best pair (interference only ever slows a run). Global instrumentation
+// state is restored afterwards so the sharded/cluster measurements run
+// under whatever -metrics selected.
+func measureAB(e *harness.Experiment, runs int, quick bool) ExpResult {
+	prevOn, prevEvery := obs.Enabled(), core.MetricsEvery
+	defer func() {
+		obs.SetEnabled(prevOn)
+		core.MetricsEvery = prevEvery
+	}()
+
+	var offBest, onBest ExpResult
+	ratios := make([]float64, 0, abPairs)
+	for p := 0; p < abPairs; p++ {
+		obs.SetEnabled(false)
+		core.MetricsEvery = 0
+		off := measure(e, runs, quick)
+
+		obs.SetEnabled(true)
+		core.MetricsEvery = 100 * sim.Millisecond
+		on := measure(e, runs, quick)
+
+		if offBest.Runs == 0 || off.EventsPerSec > offBest.EventsPerSec {
+			offBest = off
+		}
+		if onBest.Runs == 0 || on.EventsPerSec > onBest.EventsPerSec {
+			onBest = on
+		}
+		if off.EventsPerSec > 0 && on.EventsPerSec > 0 {
+			ratios = append(ratios, (off.EventsPerSec-on.EventsPerSec)/off.EventsPerSec*100)
+		}
+	}
+
+	r := offBest
+	r.MetricsNsPerOp = onBest.NsPerOp
+	r.MetricsEventsPerSec = onBest.EventsPerSec
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		r.MetricsOverheadPct = round2(ratios[len(ratios)/2])
+	}
+	return r
 }
 
 // agentProcs tracks the loopback agent subprocesses -clusteragents spawned

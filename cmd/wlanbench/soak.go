@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,20 @@ const soakSysSlack = 1 << 20 // 1 MiB
 // RSS over arbitrarily long runs — the precondition for a long-lived sweep
 // service. Returns the process exit code.
 func runSoak(dur time.Duration) int {
+	// Instrumentation stays live for the whole soak: every chunk's metric
+	// flush runs inside the MemStats bracket below, so the metrics path
+	// itself is held to the same 0 allocs/op steady-state budget as the
+	// kernel, and the new kernel gauges are sampled at every chunk
+	// boundary.
+	prevOn, prevEvery := obs.Enabled(), core.MetricsEvery
+	obs.SetEnabled(true)
+	core.MetricsEvery = 100 * sim.Millisecond
+	defer func() {
+		obs.SetEnabled(prevOn)
+		core.MetricsEvery = prevEvery
+	}()
+	evCounterBefore := obs.Sim.Events.Value()
+
 	// Fixed-seed scenario: eight 802.11g ad-hoc stations on a 30 m ring,
 	// every station saturating toward its neighbour. Dense contention keeps
 	// the medium — and the event cohorts — busy.
@@ -66,6 +81,7 @@ func runSoak(dur time.Duration) int {
 	var ms runtime.MemStats
 	var baseSys, peakSys uint64
 	var steadyAllocs, steadyEvents uint64
+	var peakPool int64
 	var worstChunkAllocs float64
 	totalEvents := uint64(0)
 	chunks := 0
@@ -94,6 +110,16 @@ func runSoak(dur time.Duration) int {
 		if ms.Sys > peakSys {
 			peakSys = ms.Sys
 		}
+		// Kernel gauges, freshly set by the chunk-boundary flush. Reading
+		// them every chunk keeps the whole gauge path inside the allocation
+		// bracket, and a dead flush (pool gauge never set) fails loudly
+		// below.
+		heapDepth := obs.Sim.HeapDepth.Value()
+		poolSize := obs.Sim.PoolEvents.Value()
+		poolFree := obs.Sim.PoolFree.Value()
+		if poolSize > peakPool {
+			peakPool = poolSize
+		}
 		perM := float64(allocs) / (float64(events) / 1e6)
 		if perM > worstChunkAllocs {
 			worstChunkAllocs = perM
@@ -103,8 +129,8 @@ func runSoak(dur time.Duration) int {
 			fmt.Fprintf(os.Stderr, "soak: chunk %3d VIOLATION  %9d events  %6d allocs (%.2f/Mevent, budget %.2f)\n",
 				chunks, events, allocs, perM, soakMaxAllocsPerMEvent)
 		} else if chunks%10 == 0 || allocs > 0 {
-			fmt.Fprintf(os.Stderr, "soak: chunk %3d            %9d events  %6d allocs  sys %6.1f MiB\n",
-				chunks, events, allocs, float64(ms.Sys)/(1<<20))
+			fmt.Fprintf(os.Stderr, "soak: chunk %3d            %9d events  %6d allocs  sys %6.1f MiB  heap %3d  pool %d (%d free)\n",
+				chunks, events, allocs, float64(ms.Sys)/(1<<20), heapDepth, poolSize, poolFree)
 		}
 	}
 	wall := time.Since(t0)
@@ -128,6 +154,9 @@ func runSoak(dur time.Duration) int {
 	if rss, ok := readVmRSS(); ok {
 		fmt.Printf("soak: process VmRSS %.1f MiB\n", float64(rss)/(1<<20))
 	}
+	metricEvents := obs.Sim.Events.Value() - evCounterBefore
+	fmt.Printf("soak: metrics gauges sampled every chunk; events counter %d, peak pool gauge %d\n",
+		metricEvents, peakPool)
 
 	switch {
 	case violations > 0:
@@ -136,8 +165,15 @@ func runSoak(dur time.Duration) int {
 	case !flatRSS:
 		fmt.Printf("soak: FAIL — heap footprint grew %d bytes after warm-up (slack %d)\n", sysGrowth, soakSysSlack)
 		return 1
+	case metricEvents != totalEvents:
+		fmt.Printf("soak: FAIL — metrics events counter saw %d of %d kernel events (flush path dead or double counting)\n",
+			metricEvents, totalEvents)
+		return 1
+	case peakPool == 0:
+		fmt.Printf("soak: FAIL — event pool gauge never set (chunk-boundary flush did not run)\n")
+		return 1
 	}
-	fmt.Printf("soak: PASS — 0 allocs/op steady state, flat RSS\n")
+	fmt.Printf("soak: PASS — 0 allocs/op steady state, flat RSS, metrics path clean\n")
 	return 0
 }
 

@@ -1,11 +1,16 @@
 // Command wlantrace pretty-prints JSONL frame traces produced by
 // wlansim -trace (or any trace.JSONL writer): one aligned line per event
-// with relative timestamps, with optional node and kind filters.
+// with relative timestamps, with optional node and kind filters. With
+// -summary it suppresses per-event output and prints a per-kind count
+// table instead, tallied through the zero-alloc trace.Counting registry
+// path — the stream is never buffered, so arbitrarily large traces
+// summarize in constant memory.
 //
 // Usage:
 //
 //	wlantrace trace.jsonl
 //	wlansim -trace /dev/stdout | wlantrace -node sta0 -kind rx-ok
+//	wlantrace -summary trace.jsonl
 package main
 
 import (
@@ -22,6 +27,7 @@ func main() {
 	var (
 		nodeFilter = flag.String("node", "", "only events from this node")
 		kindFilter = flag.String("kind", "", "only events of this kind (tx, rx-ok, rx-err, ...)")
+		summary    = flag.Bool("summary", false, "print a per-kind count table instead of per-event lines")
 	)
 	flag.Parse()
 
@@ -34,6 +40,14 @@ func main() {
 		}
 		defer f.Close()
 		in = f
+	}
+
+	counting := trace.NewCounting()
+	// The summary diffs registry totals around this run so a warm registry
+	// (other tooling in-process) cannot leak into the table.
+	before := make(map[trace.Kind]uint64, len(trace.Kinds)+1)
+	for _, k := range append(trace.Kinds[:len(trace.Kinds):len(trace.Kinds)], "other") {
+		before[k] = counting.Count(k)
 	}
 
 	sc := bufio.NewScanner(in)
@@ -58,6 +72,11 @@ func main() {
 		if *kindFilter != "" && kind != *kindFilter {
 			continue
 		}
+		if *summary {
+			counting.CountKind(trace.Kind(kind))
+			shown++
+			continue
+		}
 		atNs, _ := m["at_ns"].(float64)
 		typ, _ := m["type"].(string)
 		ra, _ := m["ra"].(string)
@@ -71,6 +90,17 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "wlantrace:", err)
 		os.Exit(1)
+	}
+	if *summary {
+		var total uint64
+		for _, k := range append(trace.Kinds[:len(trace.Kinds):len(trace.Kinds)], "other") {
+			n := counting.Count(k) - before[k]
+			total += n
+			if n > 0 || k != "other" {
+				fmt.Printf("%-8s %d\n", k, n)
+			}
+		}
+		fmt.Printf("%-8s %d\n", "total", total)
 	}
 	fmt.Fprintf(os.Stderr, "wlantrace: %d events shown of %d lines\n", shown, lineNo)
 }

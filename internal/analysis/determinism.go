@@ -22,6 +22,11 @@ var detPackages = map[string]bool{
 	"geom":     true,
 	"wep":      true,
 	"harness":  true,
+	// obs is deterministic on its instrument/flush path (scenario results
+	// must not change with metrics on); its map-order snapshot walks and
+	// the HTTP layer's wall-clock scrape timestamp carry audited
+	// //wlan:allow-nondeterminism escapes.
+	"obs": true,
 }
 
 // wallClockFuncs are the time package functions that read the wall clock

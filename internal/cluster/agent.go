@@ -78,6 +78,7 @@ import (
 	"sync"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -199,6 +200,8 @@ func (a *Agent) serveRun(w io.Writer, line string) {
 		return
 	}
 	a.logf("run %s quick=%t points=%s", expID, quick, sweep.FormatPoints(pts))
+	obs.Agent.Chunks.Inc()
+	obs.Agent.Points.Add(uint64(len(pts)))
 	if err := sweep.RunWorkerPoints(e, 0, 1, pts, quick, w); err != nil {
 		// The shard output may already be partially written; the error line
 		// makes the response unparseable on purpose, so the coordinator

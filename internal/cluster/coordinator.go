@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
@@ -39,6 +40,11 @@ type AgentStats struct {
 	Failed bool `json:"failed,omitempty"`
 	// Readmitted counts successful reconnects after a failure.
 	Readmitted int `json:"readmitted,omitempty"`
+	// Metrics aggregates the obs counter deltas from this agent's chunk
+	// trailers (nil unless the agents ran with metrics enabled). They are
+	// reporting-only: the coordinator never folds them into its own
+	// registry, so its /metrics endpoint counts local work exactly once.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // Result is one experiment's merged cluster sweep.
@@ -319,6 +325,7 @@ func (c *Coordinator) Run(e *harness.Experiment) (*Result, error) {
 // failure is fatal (it is deterministic — no agent could succeed).
 func (c *Coordinator) runLocal(e *harness.Experiment, s *scheduler, cp *sweep.Checkpoint) AgentStats {
 	st := AgentStats{Addr: LocalAgentName}
+	ab := obs.ClusterAgent(LocalAgentName)
 	for {
 		pts := s.take(c.chunkPoints())
 		if pts == nil {
@@ -334,7 +341,10 @@ func (c *Coordinator) runLocal(e *harness.Experiment, s *scheduler, cp *sweep.Ch
 			s.fail(fmt.Errorf("local agent: %w", err))
 			return st
 		}
-		s.observe(s.costOf(pts), time.Since(t0))
+		elapsed := time.Since(t0)
+		ab.Chunks.Inc()
+		ab.ChunkLatency.Observe(uint64(elapsed))
+		s.observe(s.costOf(pts), elapsed)
 		if c.stepDelay > 0 {
 			time.Sleep(c.stepDelay)
 		}
@@ -397,6 +407,7 @@ func (c *Coordinator) superviseRemote(e *harness.Experiment, s *scheduler, cp *s
 		}
 		if everConnected {
 			st.Readmitted++
+			obs.ClusterAgent(addr).Readmits.Inc()
 			c.logf("cluster: agent %s came back; re-admitted to the fleet", addr)
 		}
 		everConnected = true
@@ -444,6 +455,7 @@ func (c *Coordinator) dialBackoff(addr string, s *scheduler, rng *rand.Rand) (ne
 	delay := c.retryBackoff()
 	for attempt := 0; attempt < c.dialAttempts(); attempt++ {
 		if attempt > 0 {
+			obs.ClusterAgent(addr).Retries.Inc()
 			// ±50% deterministic jitter.
 			jittered := delay/2 + time.Duration(rng.Int63n(int64(delay)))
 			if !s.waitOr(jittered) {
@@ -466,6 +478,7 @@ func (c *Coordinator) dialBackoff(addr string, s *scheduler, rng *rand.Rand) (ne
 // and the points requeued by a failure are returned alongside the error.
 func (c *Coordinator) serveConn(e *harness.Experiment, s *scheduler, cp *sweep.Checkpoint, st *AgentStats, addr string, work net.Conn) (served, requeued int, err error) {
 	defer work.Close()
+	ab := obs.ClusterAgent(addr)
 
 	// Liveness runs on a second connection so a long-running chunk cannot
 	// be mistaken for a dead agent: the agent answers pings from a separate
@@ -516,7 +529,10 @@ func (c *Coordinator) serveConn(e *harness.Experiment, s *scheduler, cp *sweep.C
 		if err := c.acceptChunk(e, s, cp, st, pts, raw); err != nil {
 			return fail(err)
 		}
-		s.observe(s.costOf(pts), time.Since(t0))
+		elapsed := time.Since(t0)
+		ab.Chunks.Inc()
+		ab.ChunkLatency.Observe(uint64(elapsed))
+		s.observe(s.costOf(pts), elapsed)
 		served++
 	}
 }
@@ -559,6 +575,14 @@ func (c *Coordinator) acceptChunk(e *harness.Experiment, s *scheduler, cp *sweep
 	st.Allocs += chunkStats.Allocs
 	st.Bytes += chunkStats.Bytes
 	st.Events += chunkStats.Events
+	if len(chunkStats.Metrics) > 0 {
+		if st.Metrics == nil {
+			st.Metrics = make(map[string]uint64, len(chunkStats.Metrics))
+		}
+		for k, v := range chunkStats.Metrics {
+			st.Metrics[k] += v
+		}
+	}
 	return nil
 }
 
@@ -578,6 +602,7 @@ func (c *Coordinator) startHeartbeat(addr string, work net.Conn) (stop func(), e
 			hb.Close()
 		})
 	}
+	rtt := obs.ClusterAgent(addr).HeartbeatRTT
 	go func() {
 		br := bufio.NewReader(hb)
 		ticker := time.NewTicker(c.heartbeatEvery())
@@ -589,6 +614,7 @@ func (c *Coordinator) startHeartbeat(addr string, work net.Conn) (stop func(), e
 			case <-ticker.C:
 			}
 			hb.SetDeadline(time.Now().Add(c.heartbeatTimeout()))
+			t0 := time.Now()
 			if _, err := fmt.Fprintln(hb, pingLine); err != nil {
 				work.Close()
 				return
@@ -598,6 +624,7 @@ func (c *Coordinator) startHeartbeat(addr string, work net.Conn) (stop func(), e
 				work.Close()
 				return
 			}
+			rtt.Observe(uint64(time.Since(t0)))
 		}
 	}()
 	return stop, nil

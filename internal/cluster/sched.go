@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // scheduler is the coordinator's work-stealing core: a cost-ordered pool of
@@ -156,6 +158,7 @@ func (s *scheduler) take(max int) []int {
 	for _, p := range pts {
 		s.inflight[p] = true
 	}
+	obs.Cluster.QueueDepth.Set(int64(len(s.pending)))
 	return pts
 }
 
@@ -174,6 +177,7 @@ func (s *scheduler) deliver(byPoint map[int][][]string) int {
 		s.delivered[p] = rows
 		fresh++
 	}
+	obs.Cluster.PointsDelivered.Add(uint64(fresh))
 	if len(s.delivered) == s.total {
 		s.closeDoneLocked()
 	}
@@ -194,6 +198,10 @@ func (s *scheduler) requeue(pts []int) int {
 		}
 		s.insertLocked(p)
 		n++
+	}
+	if n > 0 {
+		obs.Cluster.Redispatched.Add(uint64(n))
+		obs.Cluster.QueueDepth.Set(int64(len(s.pending)))
 	}
 	s.cond.Broadcast()
 	return n

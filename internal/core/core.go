@@ -23,6 +23,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/medium"
 	"repro/internal/net80211"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/rate"
 	"repro/internal/rng"
@@ -127,6 +128,7 @@ type Network struct {
 
 	nextFlow uint32
 	ran      sim.Duration
+	obsLast  obsSnapshot // counter values at the last metrics flush
 }
 
 // NewNetwork builds an empty network from the config.
@@ -483,10 +485,16 @@ var simEvents atomic.Uint64
 // networks since process start.
 func SimEvents() uint64 { return simEvents.Load() }
 
-// Run advances the scenario by d of virtual time.
+// Run advances the scenario by d of virtual time. With metrics enabled
+// the run is chunked at core.MetricsEvery flush boundaries — same events,
+// same order, live gauges.
 func (n *Network) Run(d sim.Duration) {
 	before := n.kernel.Processed()
-	n.kernel.RunFor(d)
+	if obs.Enabled() {
+		n.runObserved(d)
+	} else {
+		n.kernel.RunFor(d)
+	}
 	n.ran += d
 	simEvents.Add(n.kernel.Processed() - before)
 }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// scenarioFingerprint runs a fixed-seed contention scenario and returns
+// everything the model computed: throughput, retries, and the exact event
+// count. Any divergence between metrics-on and metrics-off runs shows up
+// here.
+func scenarioFingerprint() (tput float64, retries, processed uint64) {
+	net := NewNetwork(Config{Seed: 77, Fading: "rayleigh", RateAdapt: "minstrel"})
+	a := net.AddAdhoc("a", geom.Pt(0, 0))
+	b := net.AddAdhoc("b", geom.Pt(40, 0))
+	flow := net.Saturate(a, b, 1200)
+	// Several Run calls so chunk boundaries interleave with Run boundaries.
+	for i := 0; i < 4; i++ {
+		net.Run(250 * sim.Millisecond)
+	}
+	return net.FlowThroughput(flow), a.MAC.Stats().Retries, net.kernel.Processed()
+}
+
+// TestMetricsRunByteIdentical is the determinism wall for the chunked
+// observed Run: enabling metrics (with a flush interval that does not
+// divide the Run span evenly) must not change a single model outcome.
+func TestMetricsRunByteIdentical(t *testing.T) {
+	t1, r1, p1 := scenarioFingerprint()
+
+	obs.SetEnabled(true)
+	prev := MetricsEvery
+	MetricsEvery = 33 * sim.Millisecond
+	t2, r2, p2 := scenarioFingerprint()
+	MetricsEvery = prev
+	obs.SetEnabled(false)
+
+	if t1 != t2 || r1 != r2 || p1 != p2 {
+		t.Fatalf("metrics run diverged: (%v,%v,%v) vs (%v,%v,%v)", t1, r1, p1, t2, r2, p2)
+	}
+}
+
+// TestFlushObsFeedsRegistry checks the flush path actually moves the
+// kernel/medium deltas into the global registry.
+func TestFlushObsFeedsRegistry(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	eventsBefore := obs.Sim.Events.Value()
+	txBefore := obs.Medium.Transmissions.Value()
+	cohortsBefore := obs.Sim.CohortSize.Count()
+
+	net := NewNetwork(Config{Seed: 5})
+	a := net.AddAdhoc("a", geom.Pt(0, 0))
+	b := net.AddAdhoc("b", geom.Pt(10, 0))
+	net.Saturate(a, b, 800)
+	net.Run(200 * sim.Millisecond)
+
+	if d := obs.Sim.Events.Value() - eventsBefore; d == 0 {
+		t.Error("no kernel events flushed to the registry")
+	} else if d != net.kernel.Processed() {
+		t.Errorf("flushed %d events, kernel processed %d", d, net.kernel.Processed())
+	}
+	if obs.Medium.Transmissions.Value() == txBefore {
+		t.Error("no medium transmissions flushed")
+	}
+	if obs.Sim.CohortSize.Count() == cohortsBefore {
+		t.Error("no cohort stats flushed")
+	}
+	if obs.Sim.NowNs.Value() < int64(200*sim.Millisecond) {
+		t.Errorf("sim clock gauge = %d, want >= %d", obs.Sim.NowNs.Value(), int64(200*sim.Millisecond))
+	}
+	if obs.Sim.PoolEvents.Value() <= 0 || obs.Sim.HeapHighWater.Value() <= 0 {
+		t.Error("kernel pool/heap gauges not set")
+	}
+}

@@ -175,6 +175,7 @@ func (m *Medium) placeRadio(id int, x, y float64) {
 	if k == old {
 		return
 	}
+	m.GridMigrations++
 	s := g.cells[old]
 	for i, v := range s {
 		if int(v) == id {

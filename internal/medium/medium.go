@@ -138,8 +138,15 @@ type Medium struct {
 
 	rng *rng.Source
 
-	// Counters for diagnostics.
-	Transmissions uint64
+	// Counters for diagnostics. Plain fields bumped on the fast path;
+	// internal/core flushes deltas into the metrics registry at run-chunk
+	// boundaries, so transmit never pays an atomic.
+	Transmissions    uint64
+	FanoutCandidates uint64 // candidate receivers walked per transmission
+	FanoutDelivered  uint64 // arrivals actually scheduled
+	LinkCacheHits    uint64 // linkPhysics cache hits on the static path
+	LinkCacheMisses  uint64 // linkPhysics recomputes on the static path
+	GridMigrations   uint64 // radios moved between spatial-grid cells
 
 	// Fast-path state: pooled transmissions/arrivals/decoded frames and the
 	// per-link gain cache (direct-mapped, linkWays slots per transmitter,
@@ -423,7 +430,10 @@ func (m *Medium) linkPhysics(r, rx *Radio, t *transmission) (units.DBm, float64,
 	linkID := uint64(r.id)<<20 | uint64(rx.id)
 	if m.shadowConst && r.static && rx.static {
 		lc := &m.links[r.id*linkWays+rx.id&(linkWays-1)]
-		if lc.rxTag != int32(rx.id)+1 || lc.txGen != m.linkGen[r.id] || lc.rxGen != m.linkGen[rx.id] {
+		if lc.rxTag == int32(rx.id)+1 && lc.txGen == m.linkGen[r.id] && lc.rxGen == m.linkGen[rx.id] {
+			m.LinkCacheHits++
+		} else {
+			m.LinkCacheMisses++
 			rxPos := rx.mobility.PositionAt(t.start)
 			base := r.txPower.Add(-m.model.PathLoss.Loss(t.txPos, rxPos)).Add(m.model.Shadow.Gain(linkID, t.start))
 			d := t.txPos.Distance(rxPos)
@@ -481,6 +491,7 @@ func (m *Medium) transmit(r *Radio, f *frame.Frame, rate phy.RateIdx) sim.Durati
 	} else if m.noFast && m.shadowConst && r.static {
 		cands = m.neighborCandidates(r, t)
 	}
+	m.FanoutCandidates += uint64(len(cands))
 	for _, rx := range cands {
 		if rx == r || rx.channel != r.channel {
 			continue
@@ -503,6 +514,7 @@ func (m *Medium) transmit(r *Radio, f *frame.Frame, rate phy.RateIdx) sim.Durati
 		arr.power = power
 		arr.powerMW = powerMW
 		t.refs++
+		m.FanoutDelivered++
 		m.kernel.ScheduleArg(delay, rx.nameRxStart, arrivalStartFn, arr)
 		m.kernel.ScheduleArg(delay+airtime, rx.nameRxEnd, arrivalEndFn, arr)
 	}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteTo renders the registry in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, each with its # HELP / # TYPE
+// header, label variants sorted within the family, histograms expanded
+// into cumulative _bucket{le="..."} series plus _sum and _count. Values
+// are read with individual atomic loads — a scrape is not a consistent
+// snapshot across instruments, which is fine for monitoring and keeps the
+// hot path untouched.
+//
+// This is the render path for the -metrics HTTP endpoint; it runs on the
+// scraper's goroutine, never on the sim loop.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	//wlan:allow-nondeterminism map key collection; sorted before any output
+	for name := range r.families {
+		names = append(names, name)
+	}
+	byFamily := make(map[string][]*metric, len(r.families))
+	//wlan:allow-nondeterminism map value collection; sorted before any output
+	for _, m := range r.metrics {
+		byFamily[m.name] = append(byFamily[m.name], m)
+	}
+	fams := make(map[string]*family, len(r.families))
+	for _, name := range names {
+		fams[name] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	for _, name := range names {
+		f := fams[name]
+		ms := byFamily[name]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].labels < ms[j].labels })
+		cw.line("# HELP " + name + " " + f.help)
+		cw.line("# TYPE " + name + " " + f.kind.String())
+		for _, m := range ms {
+			switch m.kind {
+			case counterKind:
+				cw.line(name + m.labels + " " + strconv.FormatUint(m.c.Value(), 10))
+			case gaugeKind:
+				cw.line(name + m.labels + " " + strconv.FormatInt(m.g.Value(), 10))
+			case histogramKind:
+				writeHistogram(cw, name, m)
+			}
+		}
+	}
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+// writeHistogram expands one histogram metric into its exposition series.
+// Bucket counts are cumulative per the format; the le label joins any
+// registered labels inside one brace block.
+func writeHistogram(cw *countingWriter, name string, m *metric) {
+	h := m.h
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatUint(h.bounds[i], 10)
+		}
+		cw.line(name + "_bucket" + mergeLabels(m.labels, `le="`+le+`"`) + " " + strconv.FormatUint(cum, 10))
+	}
+	cw.line(name + "_sum" + m.labels + " " + strconv.FormatUint(h.Sum(), 10))
+	cw.line(name + "_count" + m.labels + " " + strconv.FormatUint(h.Count(), 10))
+}
+
+// mergeLabels splices an extra label pair into an already-rendered block.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// countingWriter tracks bytes written and sticks on the first error.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) line(s string) {
+	if cw.err != nil {
+		return
+	}
+	n, err := io.WriteString(cw.w, s)
+	cw.n += int64(n)
+	cw.err = err
+	if cw.err == nil {
+		n, err = cw.w.Write([]byte{'\n'})
+		cw.n += int64(n)
+		cw.err = err
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// This file is the one place obs touches the wall clock and the network.
+// Everything here runs on HTTP-serving goroutines, never on the sim loop;
+// the time.Now() uses below carry audited escapes because scrape
+// timestamps are operator-facing diagnostics with no path back into
+// simulation state.
+
+// scrapes counts /metrics requests served; lastScrapeUnixNs records when
+// the most recent one happened (wall clock, by design — it answers "is
+// anything scraping this process?").
+var (
+	scrapes          = Default.Counter("wlan_obs_scrapes_total", "Number of /metrics scrapes served by this process.")
+	lastScrapeUnixNs = Default.Gauge("wlan_obs_last_scrape_unix_ns", "Wall-clock time of the most recent /metrics scrape, in Unix nanoseconds.")
+)
+
+// Handler returns an http.Handler serving the registry at /metrics and the
+// stdlib pprof pages at /debug/pprof/ on a private mux — safe to mount on
+// any port without touching http.DefaultServeMux.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		scrapes.Inc()
+		lastScrapeUnixNs.Set(time.Now().UnixNano()) //wlan:allow-nondeterminism wall-clock scrape timestamp, HTTP layer only
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port), serves Handler(reg) on a
+// background goroutine, and returns the bound address so callers can
+// announce it. The listener lives for the rest of the process — fleet
+// metrics endpoints have no orderly shutdown story and need none.
+func Serve(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

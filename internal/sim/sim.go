@@ -32,6 +32,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"slices"
 )
 
@@ -173,6 +174,14 @@ type Kernel struct {
 	OnEvent func(at Time, name string)
 	// processed counts events executed, for diagnostics and tests.
 	processed uint64
+	// Cohort statistics from the drain path, in power-of-two size buckets:
+	// cohortSizes[i] counts cohorts of size in (2^(i-1), 2^i], the last
+	// bucket catching everything larger; cohortEvents sums the sizes.
+	// Plain fields — internal/core flushes them into the metrics registry
+	// at run-chunk boundaries, so the drain path never pays an atomic.
+	cohortSizes  [8]uint64
+	cohortEvents uint64
+	heapHW       int // max heap depth observed, for diagnostics
 }
 
 // NewKernel returns a kernel with the clock at zero and an empty queue.
@@ -191,6 +200,32 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 func (k *Kernel) Pending() int {
 	return len(k.heap) - k.cancelled + (len(k.cohort) - k.cohortPos - k.cohortCancelled)
 }
+
+// CohortSizes returns the drain-path cohort statistics: per-bucket cohort
+// counts (bucket i holds cohorts of size in (2^(i-1), 2^i], the last bucket
+// unbounded) and the total number of events delivered through cohorts.
+// internal/core diffs successive snapshots to feed the metrics registry.
+func (k *Kernel) CohortSizes() (buckets [8]uint64, events uint64) {
+	return k.cohortSizes, k.cohortEvents
+}
+
+// HeapDepth returns the number of heap-resident events right now
+// (including cancelled ones not yet reaped).
+func (k *Kernel) HeapDepth() int { return len(k.heap) }
+
+// HeapHighWater returns the maximum heap depth observed so far.
+func (k *Kernel) HeapHighWater() int { return k.heapHW }
+
+// PoolSize returns the number of Event slots this kernel has ever
+// allocated (the pool's footprint).
+func (k *Kernel) PoolSize() int { return len(k.slots) }
+
+// FreeEvents returns how many pooled events are on the free list.
+func (k *Kernel) FreeEvents() int { return len(k.free) }
+
+// Stopped reports whether the last Run/RunUntil returned because Stop was
+// called rather than because the queue drained or the deadline passed.
+func (k *Kernel) Stopped() bool { return k.stopped }
 
 // --- struct-of-arrays 4-ary heap -----------------------------------------
 
@@ -288,6 +323,9 @@ func (k *Kernel) scheduleAt(at Time, name string, fn func(), argFn func(any), ar
 	e.loc = locHeap
 	k.seq++
 	k.heap = append(k.heap, heapKey{at: at, seq: e.seq, slot: e.slot})
+	if len(k.heap) > k.heapHW {
+		k.heapHW = len(k.heap)
+	}
 	k.up(len(k.heap) - 1)
 	return Timer{e: e, gen: e.gen}
 }
@@ -427,6 +465,16 @@ func (k *Kernel) drainCohort(at Time) {
 		e.loc = locCohort
 		k.cohort = append(k.cohort, key)
 	}
+	// Bucket the live cohort size for the drain-path statistics that
+	// internal/core flushes into the metrics registry.
+	if sz := len(k.cohort); sz > 0 {
+		b := bits.Len(uint(sz - 1))
+		if b > 7 {
+			b = 7
+		}
+		k.cohortSizes[b]++
+		k.cohortEvents += uint64(sz)
+	}
 	// Cohort keys arrive in heap order; delivery order is ascending seq.
 	// Cohorts are a transmission fan-out — a few dozen keys at most — so a
 	// direct insertion sort beats the generic sort's dispatch overhead;
@@ -564,6 +612,8 @@ func (k *Kernel) drainStep(deadline Time) bool {
 				k.putEvent(e)
 				continue
 			}
+			k.cohortSizes[0]++
+			k.cohortEvents++
 			k.execute(key, e)
 			return true
 		}

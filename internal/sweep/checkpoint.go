@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // A checkpoint file is an append-only journal of completed sweep chunks:
@@ -215,6 +217,8 @@ func (cp *Checkpoint) AppendChunk(byPoint map[int][][]string, st ShardStats) err
 	if err := cp.f.Sync(); err != nil {
 		return fmt.Errorf("sweep: checkpoint sync: %w", err)
 	}
+	obs.Checkpoint.Fsyncs.Inc()
+	obs.Checkpoint.Bytes.Add(uint64(buf.Len()))
 	return nil
 }
 

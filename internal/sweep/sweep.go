@@ -38,11 +38,13 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -114,6 +116,12 @@ type ShardStats struct {
 	Allocs uint64 `json:"allocs"`
 	Bytes  uint64 `json:"bytes"`
 	Events uint64 `json:"events"`
+	// Metrics holds per-run obs counter deltas (keyed by metric
+	// name+labels), populated only when metrics collection is enabled.
+	// They ride the wire as `# metric` trailer lines after `# stats` —
+	// unknown to older parsers, outside the row data, and excluded from
+	// checkpoint duplicate comparison, so they never perturb table bytes.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // RunWorker evaluates the points of e owned by shard under the round-robin
@@ -152,6 +160,10 @@ func RunWorkerPoints(e *harness.Experiment, shard, shards int, pts []int, quick 
 	runtime.GC()
 	runtime.ReadMemStats(&msBefore)
 	evBefore := core.SimEvents()
+	var obsBefore map[string]uint64
+	if obs.Enabled() {
+		obsBefore = obs.Default.CounterSnapshot(workerMetricPrefixes...)
+	}
 	t0 := time.Now()
 	groups := g.RunPoints(pts)
 	wall := time.Since(t0)
@@ -164,6 +176,9 @@ func RunWorkerPoints(e *harness.Experiment, shard, shards int, pts []int, quick 
 		Allocs: msAfter.Mallocs - msBefore.Mallocs,
 		Bytes:  msAfter.TotalAlloc - msBefore.TotalAlloc,
 		Events: core.SimEvents() - evBefore,
+	}
+	if obsBefore != nil {
+		st.Metrics = diffCounters(obsBefore, obs.Default.CounterSnapshot(workerMetricPrefixes...))
 	}
 	for _, rows := range groups {
 		st.Rows += len(rows)
@@ -205,8 +220,40 @@ func WriteShard(w io.Writer, h Header, byPoint map[int][][]string, st ShardStats
 	}
 	fmt.Fprintf(bw, "# stats points=%d rows=%d wall_ns=%d allocs=%d bytes=%d events=%d\n",
 		st.Points, st.Rows, st.WallNs, st.Allocs, st.Bytes, st.Events)
+	if len(st.Metrics) > 0 {
+		names := make([]string, 0, len(st.Metrics))
+		for name := range st.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(bw, "# metric %s %d\n", name, st.Metrics[name])
+		}
+	}
 	fmt.Fprintf(bw, "# end\n")
 	return bw.Flush()
+}
+
+// workerMetricPrefixes selects the counter families a worker reports in
+// its stats trailer: only the sim/medium/trace families its own point set
+// drives, so the trailer is a pure function of the chunk. Coordinator-side
+// cluster counters (racing in other goroutines of the same process) are
+// deliberately excluded.
+var workerMetricPrefixes = []string{"wlan_sim_", "wlan_medium_", "wlan_trace_"}
+
+// diffCounters returns after-minus-before, dropping zero deltas; nil when
+// nothing moved.
+func diffCounters(before, after map[string]uint64) map[string]uint64 {
+	d := make(map[string]uint64, len(after))
+	for k, v := range after {
+		if dv := v - before[k]; dv > 0 {
+			d[k] = dv
+		}
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
 }
 
 // ParseShard decodes one shard's output.
@@ -247,6 +294,20 @@ func ParseShard(r io.Reader) (Header, map[int][][]string, ShardStats, error) {
 				return h, nil, st, fmt.Errorf("sweep: bad stats line %q: %v", line, err)
 			}
 			st.Shard = h.Shard
+		case strings.HasPrefix(line, "# metric "):
+			rest := line[len("# metric "):]
+			i := strings.LastIndexByte(rest, ' ')
+			if i <= 0 {
+				return h, nil, st, fmt.Errorf("sweep: bad metric line %q", line)
+			}
+			v, err := strconv.ParseUint(rest[i+1:], 10, 64)
+			if err != nil {
+				return h, nil, st, fmt.Errorf("sweep: bad metric line %q: %v", line, err)
+			}
+			if st.Metrics == nil {
+				st.Metrics = map[string]uint64{}
+			}
+			st.Metrics[rest[:i]] = v
 		case line == "# end":
 			ended = true
 		case strings.HasPrefix(line, "#"):

@@ -89,7 +89,11 @@ func TestWireRoundTrip(t *testing.T) {
 		1: {{"1", "0.85", "rts/cts"}},
 		4: {{"10", "4.71", "basic"}, {"10", "4.40", "extra row"}},
 	}
-	st := ShardStats{Shard: 1, Points: 2, Rows: 3, WallNs: 123, Allocs: 45, Bytes: 678, Events: 90}
+	st := ShardStats{Shard: 1, Points: 2, Rows: 3, WallNs: 123, Allocs: 45, Bytes: 678, Events: 90,
+		Metrics: map[string]uint64{
+			"wlan_sim_events_total":              90,
+			`wlan_trace_events_total{kind="tx"}`: 7,
+		}}
 	var buf bytes.Buffer
 	if err := WriteShard(&buf, h, byPoint, st); err != nil {
 		t.Fatal(err)
@@ -104,8 +108,15 @@ func TestWireRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(gotPts, byPoint) {
 		t.Errorf("points round-trip:\n%v\n%v", gotPts, byPoint)
 	}
-	if gotSt != st {
+	if !reflect.DeepEqual(gotSt, st) {
 		t.Errorf("stats round-trip: %+v != %+v", gotSt, st)
+	}
+	// Metric trailer lines sit between # stats and # end, sorted by name.
+	want := "# metric wlan_sim_events_total 90\n" +
+		"# metric wlan_trace_events_total{kind=\"tx\"} 7\n" +
+		"# end\n"
+	if !strings.HasSuffix(buf.String(), want) {
+		t.Errorf("trailer layout wrong:\n%s", buf.String())
 	}
 }
 
